@@ -1,0 +1,41 @@
+"""Quickstart: schedule a TPC-H batch with heuristics and with BQSched.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BQSched, BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.core import FIFOScheduler, MCFScheduler, RandomScheduler
+
+def main() -> None:
+    # 1. Build a synthetic TPC-H workload (22 batch queries) and a DBMS.
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 8
+
+    # 2. Evaluate the heuristic baselines a pipeline tool would use.
+    scheduler = BQSched(workload, engine, config)
+    print("Heuristic baselines (mean makespan over 3 rounds):")
+    for baseline in (RandomScheduler(seed=0), FIFOScheduler(), MCFScheduler()):
+        evaluation = baseline.evaluate(scheduler.env, rounds=3)
+        print(f"  {evaluation.strategy:<8} {evaluation.mean:6.2f} s  ± {evaluation.std:.2f}")
+
+    # 3. Train BQSched: collect history, train the simulator, pre-train the
+    #    policy against it, then fine-tune on the DBMS.
+    scheduler.train(num_updates=6, pretrain_updates=6)
+    evaluation = scheduler.evaluate_policy(rounds=3)
+    print(f"  {'BQSched':<8} {evaluation.mean:6.2f} s  ± {evaluation.std:.2f}")
+
+    # 4. Inspect the learned plan for one round.
+    result = scheduler.schedule(round_id=0)
+    print(f"\nLearned plan finishes {result.num_queries} queries in {result.makespan:.2f} s")
+    first = sorted(result.round_log, key=lambda r: r.submit_time)[:5]
+    print("First submissions:", [(r.query_name, str(r.parameters)) for r in first])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""BQSched reproduction: a non-intrusive RL scheduler for batch concurrent queries.
+
+The public API re-exports the pieces a downstream user needs to schedule a
+batch query set end-to-end:
+
+* :mod:`repro.workloads` — synthetic TPC-DS / TPC-H / JOB query catalogues.
+* :mod:`repro.dbms` — the black-box concurrent execution substrate.
+* :mod:`repro.core` — BQSched itself plus heuristic and LSched baselines.
+* :mod:`repro.bench` — the experiment harness reproducing the paper's tables
+  and figures.
+
+Quickstart::
+
+    from repro import BQSched, DatabaseEngine, DBMSProfile, make_workload
+
+    workload = make_workload("tpcds", scale_factor=1.0, seed=0)
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    scheduler = BQSched.from_workload(workload, engine, seed=0)
+    scheduler.train(num_episodes=50)
+    result = scheduler.schedule(workload.batch_query_set())
+    print(result.makespan)
+"""
+
+from .version import __version__
+from .config import BQSchedConfig, EncoderConfig, PPOConfig, SchedulerConfig, SimulatorConfig
+from .exceptions import (
+    BQSchedError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from .workloads import BatchQuerySet, Query, Workload, make_workload
+from .dbms import DatabaseEngine, DBMSProfile, ExecutionLog, RunningParameters
+from .core import (
+    BQSched,
+    FIFOScheduler,
+    LSchedScheduler,
+    MCFScheduler,
+    RandomScheduler,
+    SchedulingEnv,
+    SchedulingResult,
+)
+
+__all__ = [
+    "__version__",
+    "BQSchedConfig",
+    "EncoderConfig",
+    "PPOConfig",
+    "SchedulerConfig",
+    "SimulatorConfig",
+    "BQSchedError",
+    "ConfigurationError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+    "BatchQuerySet",
+    "Query",
+    "Workload",
+    "make_workload",
+    "DatabaseEngine",
+    "DBMSProfile",
+    "ExecutionLog",
+    "RunningParameters",
+    "BQSched",
+    "FIFOScheduler",
+    "LSchedScheduler",
+    "MCFScheduler",
+    "RandomScheduler",
+    "SchedulingEnv",
+    "SchedulingResult",
+]

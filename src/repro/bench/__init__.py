@@ -1,0 +1,28 @@
+"""Benchmark harness: scenarios, effort profiles, paper-vs-measured reporting."""
+
+from .harness import (
+    BenchProfile,
+    HEURISTICS,
+    Scenario,
+    evaluate_heuristics,
+    evaluate_rl,
+    get_profile,
+    run_strategy_comparison,
+)
+from .reporting import ComparisonRow, format_table, print_table, render_gantt
+from . import paper_values
+
+__all__ = [
+    "BenchProfile",
+    "HEURISTICS",
+    "Scenario",
+    "evaluate_heuristics",
+    "evaluate_rl",
+    "get_profile",
+    "run_strategy_comparison",
+    "ComparisonRow",
+    "format_table",
+    "print_table",
+    "render_gantt",
+    "paper_values",
+]

@@ -1,0 +1,111 @@
+"""Numbers reported in the paper's evaluation section (for shape comparison).
+
+The benchmark harness prints these next to the values measured on the
+synthetic substrate.  Absolute seconds are not expected to match (the
+substrate is a simulator, not the authors' servers); the orderings and rough
+improvement factors are what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_MAKESPAN",
+    "TABLE1_STD",
+    "TABLE2_MAKESPAN",
+    "TABLE3_SIMULATOR",
+    "FIG5_IMPROVEMENT_OVER_FIFO",
+    "FIG7_ABLATION_RELATIVE",
+    "FIG8_CLUSTERING_IMPROVEMENT",
+]
+
+#: Table I — average makespan (seconds), DBMS x benchmark x strategy.
+TABLE1_MAKESPAN: dict[str, dict[str, dict[str, float]]] = {
+    "DBMS-X": {
+        "tpcds": {"Random": 20.71, "FIFO": 20.05, "MCF": 19.01, "LSched": 16.91, "BQSched": 14.39},
+        "tpch": {"Random": 6.17, "FIFO": 6.26, "MCF": 5.05, "LSched": 4.64, "BQSched": 3.65},
+        "job": {"Random": 9.75, "FIFO": 10.57, "MCF": 8.78, "LSched": 8.50, "BQSched": 7.96},
+    },
+    "DBMS-Y": {
+        "tpcds": {"Random": 20.11, "FIFO": 16.90, "MCF": 15.01, "LSched": 12.03, "BQSched": 10.45},
+        "tpch": {"Random": 4.97, "FIFO": 5.91, "MCF": 4.93, "LSched": 3.74, "BQSched": 3.59},
+        "job": {"Random": 7.24, "FIFO": 7.14, "MCF": 7.12, "LSched": 6.82, "BQSched": 6.80},
+    },
+    "DBMS-Z": {
+        "tpcds": {"Random": 8.68, "FIFO": 9.04, "MCF": 7.37, "LSched": 7.26, "BQSched": 7.01},
+        "tpch": {"Random": 1.07, "FIFO": 1.07, "MCF": 0.90, "LSched": 0.84, "BQSched": 0.76},
+        "job": {"Random": 8.49, "FIFO": 8.99, "MCF": 8.19, "LSched": 8.07, "BQSched": 7.83},
+    },
+}
+
+#: Table I — makespan standard deviation (stability), same indexing.
+TABLE1_STD: dict[str, dict[str, dict[str, float]]] = {
+    "DBMS-X": {
+        "tpcds": {"Random": 1.68, "FIFO": 1.36, "MCF": 1.54, "LSched": 0.57, "BQSched": 0.09},
+        "tpch": {"Random": 0.94, "FIFO": 0.06, "MCF": 0.61, "LSched": 0.04, "BQSched": 0.03},
+        "job": {"Random": 0.69, "FIFO": 0.21, "MCF": 0.22, "LSched": 0.15, "BQSched": 0.03},
+    },
+    "DBMS-Y": {
+        "tpcds": {"Random": 2.17, "FIFO": 2.60, "MCF": 3.68, "LSched": 2.27, "BQSched": 0.37},
+        "tpch": {"Random": 0.41, "FIFO": 0.29, "MCF": 0.22, "LSched": 0.13, "BQSched": 0.12},
+        "job": {"Random": 0.32, "FIFO": 0.18, "MCF": 0.09, "LSched": 0.05, "BQSched": 0.05},
+    },
+    "DBMS-Z": {
+        "tpcds": {"Random": 0.84, "FIFO": 0.13, "MCF": 0.10, "LSched": 0.07, "BQSched": 0.06},
+        "tpch": {"Random": 0.12, "FIFO": 0.04, "MCF": 0.07, "LSched": 0.02, "BQSched": 0.02},
+        "job": {"Random": 0.61, "FIFO": 0.11, "MCF": 0.07, "LSched": 0.07, "BQSched": 0.04},
+    },
+}
+
+#: Table II — adaptability on TPC-DS with DBMS-X (makespans under perturbation).
+TABLE2_MAKESPAN: dict[str, dict[str, dict[str, float]]] = {
+    "data": {
+        "0.8x": {"Random": 16.26, "FIFO": 15.30, "MCF": 15.41, "LSched": 13.48, "BQSched": 12.88},
+        "0.9x": {"Random": 19.48, "FIFO": 17.86, "MCF": 17.59, "LSched": 15.36, "BQSched": 13.95},
+        "1.1x": {"Random": 23.79, "FIFO": 25.82, "MCF": 22.28, "LSched": 24.84, "BQSched": 21.81},
+        "1.2x": {"Random": 26.59, "FIFO": 28.30, "MCF": 23.95, "LSched": 26.56, "BQSched": 23.69},
+    },
+    "query": {
+        "0.8x": {"Random": 20.66, "FIFO": 20.23, "MCF": 20.59, "LSched": 16.95, "BQSched": 14.34},
+        "0.9x": {"Random": 20.65, "FIFO": 19.90, "MCF": 19.36, "LSched": 17.39, "BQSched": 14.67},
+        "1.1x": {"Random": 22.20, "FIFO": 20.95, "MCF": 22.39, "LSched": 18.27, "BQSched": 14.88},
+        "1.2x": {"Random": 23.92, "FIFO": 23.95, "MCF": 21.51, "LSched": 19.59, "BQSched": 15.59},
+    },
+}
+
+#: Table III — simulator prediction model ablation (accuracy %, regression MSE).
+TABLE3_SIMULATOR: dict[str, dict[str, float]] = {
+    "w/o Att": {"accuracy": 0.566, "mse": 0.180},
+    "w/o MTL": {"accuracy": 0.586, "mse": 0.102},
+    "gamma=0.01": {"accuracy": 0.644, "mse": 0.115},
+    "gamma=0.1": {"accuracy": 0.687, "mse": 0.073},
+    "gamma=1": {"accuracy": 0.685, "mse": 0.173},
+}
+
+#: Figure 5 — BQSched's makespan improvement over FIFO at each scale point.
+FIG5_IMPROVEMENT_OVER_FIFO: dict[str, dict[str, float]] = {
+    "tpcds_dbmsx_data": {"1x": 0.28, "2x": 0.30, "5x": 0.31, "10x": 0.19},
+    "tpcds_dbmsx_query": {"2x": 0.23, "5x": 0.18, "10x": 0.13},
+    "tpcds_dbmsz_data": {"50x": 0.55, "100x": 0.57, "200x": 0.61},
+    "tpch_dbmsz_data": {"50x": 0.40, "100x": 0.45, "200x": 0.50},
+}
+
+#: Figure 7 — relative efficiency of ablated variants vs full BQSched
+#: (>1 means the variant's makespan is worse).
+FIG7_ABLATION_RELATIVE: dict[str, float] = {
+    "w/o attention state": 1.07,
+    "w/ PPO": 1.10,
+    "w/ PPG": 1.05,
+    "w/o adaptive masking": 1.44,
+}
+
+#: Figure 8 — improvement of clustering over no clustering at 5x / 10x queries.
+FIG8_CLUSTERING_IMPROVEMENT: dict[str, float] = {"5x": 0.13, "10x": 0.09}
+
+#: Figure 6 — training-time ratios reported in the text.
+FIG6_TRAINING_COST: dict[str, float] = {
+    "bqsched_vs_lsched_time_ratio": 0.10,
+    "bqsched_no_sim_vs_lsched_time_ratio": 0.47,
+    "pretrain_fraction": 0.06,
+    "finetune_fraction": 0.15,
+}
+__all__.append("FIG6_TRAINING_COST")

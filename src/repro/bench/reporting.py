@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, with the paper's value (where available) next to the value
+measured on the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRow", "format_table", "print_table", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a paper-vs-measured comparison."""
+
+    label: str
+    measured: float
+    paper: float | None = None
+    unit: str = "s"
+
+    @property
+    def ratio(self) -> float | None:
+        if self.paper in (None, 0.0):
+            return None
+        return self.measured / self.paper
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def render_gantt(timeline: dict[int, list[tuple[int, float, float]]], width: int = 78) -> str:
+    """ASCII Gantt chart of a scheduling plan (the reproduction of Figure 9).
+
+    ``timeline`` maps connection ids to ``(query_id, start, end)`` bars, as
+    produced by :meth:`repro.core.SchedulingResult.connection_timeline`.
+    """
+    if not timeline:
+        return "(empty schedule)"
+    horizon = max(end for bars in timeline.values() for _, _, end in bars)
+    if horizon <= 0:
+        return "(empty schedule)"
+    lines = [f"connection timeline (0 .. {horizon:.2f}s)"]
+    for connection in sorted(timeline):
+        row = [" "] * width
+        for query_id, start, end in timeline[connection]:
+            left = int(start / horizon * (width - 1))
+            right = max(left + 1, int(end / horizon * (width - 1)))
+            label = str(query_id)
+            for pos in range(left, min(right, width)):
+                row[pos] = "="
+            for offset, char in enumerate(label):
+                if left + offset < width:
+                    row[left + offset] = char
+        lines.append(f"c{connection:02d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Configuration dataclasses for every component of the reproduction.
+
+All tunables are grouped into small dataclasses so experiments can be
+described declaratively (the benchmark harness builds these from per-figure
+presets).  Each dataclass validates itself on construction and raises
+:class:`repro.exceptions.ConfigurationError` for out-of-range values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "EncoderConfig",
+    "PPOConfig",
+    "SchedulerConfig",
+    "SimulatorConfig",
+    "ClusteringConfig",
+    "MaskingConfig",
+    "BQSchedConfig",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass
+class EncoderConfig:
+    """Hyper-parameters of the QueryFormer plan encoder and the state encoder.
+
+    Attributes
+    ----------
+    plan_embedding_dim:
+        Output width of the QueryFormer plan embedding ``e_i``.
+    node_hidden_dim:
+        Width of node features inside the tree Transformer.
+    tree_heads / tree_layers:
+        Multi-head attention configuration of the tree Transformer.
+    state_dim:
+        Width of per-query tokens ``x_i`` fed to the batch-level attention.
+    state_heads / state_layers:
+        Multi-head attention configuration of the batch-level encoder.
+    mlp_layers:
+        Depth ``m`` of the per-query MLP combining plan embedding and running
+        state features.
+    max_height:
+        Maximum plan-tree height supported by the height encoding.
+    norm:
+        ``"batch"`` (paper default) or ``"layer"`` normalisation.
+    """
+
+    plan_embedding_dim: int = 32
+    node_hidden_dim: int = 32
+    tree_heads: int = 4
+    tree_layers: int = 2
+    state_dim: int = 48
+    state_heads: int = 4
+    state_layers: int = 2
+    mlp_layers: int = 2
+    max_height: int = 16
+    norm: str = "batch"
+
+    def __post_init__(self) -> None:
+        _require(self.plan_embedding_dim > 0, "plan_embedding_dim must be positive")
+        _require(self.node_hidden_dim % self.tree_heads == 0, "node_hidden_dim must divide tree_heads")
+        _require(self.state_dim % self.state_heads == 0, "state_dim must divide state_heads")
+        _require(self.tree_layers >= 1 and self.state_layers >= 1, "attention stacks need >= 1 layer")
+        _require(self.mlp_layers >= 1, "mlp_layers must be >= 1")
+        _require(self.norm in ("batch", "layer"), "norm must be 'batch' or 'layer'")
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters shared by PPO, PPG and IQ-PPO.
+
+    ``aux_every`` is the number of PPO iterations between auxiliary phases
+    (``N_ppo`` in Algorithm 1); ``beta_clone`` weighs the behaviour-cloning KL
+    term of the IQ-PPO auxiliary objective.
+    """
+
+    learning_rate: float = 3e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_epsilon: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    epochs_per_update: int = 4
+    minibatch_size: int = 64
+    max_grad_norm: float = 0.5
+    rollouts_per_update: int = 4
+    aux_every: int = 10
+    aux_epochs: int = 3
+    beta_clone: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.learning_rate > 0, "learning_rate must be positive")
+        _require(0 < self.gamma <= 1, "gamma must be in (0, 1]")
+        _require(0 <= self.gae_lambda <= 1, "gae_lambda must be in [0, 1]")
+        _require(0 < self.clip_epsilon < 1, "clip_epsilon must be in (0, 1)")
+        _require(self.epochs_per_update >= 1, "epochs_per_update must be >= 1")
+        _require(self.rollouts_per_update >= 1, "rollouts_per_update must be >= 1")
+        _require(self.aux_every >= 1, "aux_every must be >= 1")
+
+
+@dataclass
+class MaskingConfig:
+    """Adaptive masking thresholds (Section IV-A).
+
+    A configuration that allocates more resources is masked for a query when
+    both the absolute improvement (seconds) and the relative improvement over
+    the cheapest configuration fall below these thresholds.
+    """
+
+    enabled: bool = True
+    min_absolute_gain: float = 0.25
+    min_relative_gain: float = 0.05
+    mask_value: float = -1e8
+
+    def __post_init__(self) -> None:
+        _require(self.min_absolute_gain >= 0, "min_absolute_gain must be >= 0")
+        _require(0 <= self.min_relative_gain < 1, "min_relative_gain must be in [0, 1)")
+
+
+@dataclass
+class ClusteringConfig:
+    """Scheduling-gain based query clustering (Section IV-B)."""
+
+    enabled: bool = False
+    num_clusters: int = 100
+    intra_cluster_order: str = "mcf"
+    min_overlap: float = 0.05
+    gain_model_hidden: int = 32
+
+    def __post_init__(self) -> None:
+        _require(self.num_clusters >= 1, "num_clusters must be >= 1")
+        _require(self.intra_cluster_order in ("fifo", "mcf"), "intra_cluster_order must be 'fifo' or 'mcf'")
+        _require(0 <= self.min_overlap <= 1, "min_overlap must be in [0, 1]")
+
+
+@dataclass
+class SimulatorConfig:
+    """Learned incremental simulator (Section IV-C)."""
+
+    hidden_dim: int = 48
+    learning_rate: float = 1e-3
+    epochs: int = 20
+    batch_size: int = 64
+    gamma_regression: float = 0.1
+    use_attention: bool = True
+    use_multitask: bool = True
+    incremental_epochs: int = 5
+
+    def __post_init__(self) -> None:
+        _require(self.hidden_dim > 0, "hidden_dim must be positive")
+        _require(self.epochs >= 1, "epochs must be >= 1")
+        _require(self.gamma_regression >= 0, "gamma_regression must be >= 0")
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduling-problem level settings.
+
+    ``num_connections`` is ``|C|``; ``worker_options`` and ``memory_options``
+    enumerate the running-parameter configurations ``R``.
+    """
+
+    num_connections: int = 6
+    worker_options: tuple[int, ...] = (1, 2)
+    memory_options: tuple[int, ...] = (64, 256)
+    reward_scale: float = 1.0
+    step_penalty: float = 0.0
+    evaluation_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        _require(self.num_connections >= 1, "num_connections must be >= 1")
+        _require(len(self.worker_options) >= 1, "worker_options must not be empty")
+        _require(len(self.memory_options) >= 1, "memory_options must not be empty")
+        _require(all(w >= 1 for w in self.worker_options), "worker counts must be >= 1")
+        _require(all(m > 0 for m in self.memory_options), "memory options must be positive")
+        _require(self.evaluation_rounds >= 1, "evaluation_rounds must be >= 1")
+
+    @property
+    def num_configurations(self) -> int:
+        """Number of running-parameter configurations per query."""
+        return len(self.worker_options) * len(self.memory_options)
+
+
+@dataclass
+class BQSchedConfig:
+    """Top-level configuration aggregating every component."""
+
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    masking: MaskingConfig = field(default_factory=MaskingConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        """Return a plain-dict snapshot (for logging and EXPERIMENTS.md)."""
+        return asdict(self)
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "BQSchedConfig":
+        """A reduced-size configuration used by tests and CI-scale benchmarks."""
+        return cls(
+            encoder=EncoderConfig(
+                plan_embedding_dim=16,
+                node_hidden_dim=16,
+                tree_heads=2,
+                tree_layers=1,
+                state_dim=24,
+                state_heads=2,
+                state_layers=1,
+            ),
+            ppo=PPOConfig(rollouts_per_update=2, epochs_per_update=2, minibatch_size=32, aux_every=4),
+            scheduler=SchedulerConfig(num_connections=4),
+            simulator=SimulatorConfig(hidden_dim=24, epochs=5),
+            seed=seed,
+        )

@@ -1,0 +1,50 @@
+"""BQSched core: environment, RL algorithms, optimisations, facade, baselines."""
+
+from .types import SchedulingResult, StrategyEvaluation
+from .knowledge import ExternalKnowledge
+from .masking import AdaptiveMask
+from .env import SchedulingEnv, StepResult
+from .baselines import BaseScheduler, FIFOScheduler, MCFScheduler, RandomScheduler, run_episode
+from .policy import ActorCriticNetwork, PolicyDecision
+from .rollout import RolloutBuffer, Transition
+from .ppo import PPOTrainer, TrainingHistory
+from .ppg import PPGTrainer
+from .iq_ppo import IQPPOTrainer
+from .gain import GainModel, build_gain_matrix, compute_scheduling_gains
+from .clustering import QueryClusters, cluster_queries
+from .simulator import ConcurrentPredictionModel, LearnedSimulator, SimulatedSession, SimulatorMetrics
+from .bqsched import BQSched, LSchedScheduler, RLSchedulerBase
+
+__all__ = [
+    "SchedulingResult",
+    "StrategyEvaluation",
+    "ExternalKnowledge",
+    "AdaptiveMask",
+    "SchedulingEnv",
+    "StepResult",
+    "BaseScheduler",
+    "FIFOScheduler",
+    "MCFScheduler",
+    "RandomScheduler",
+    "run_episode",
+    "ActorCriticNetwork",
+    "PolicyDecision",
+    "RolloutBuffer",
+    "Transition",
+    "PPOTrainer",
+    "TrainingHistory",
+    "PPGTrainer",
+    "IQPPOTrainer",
+    "GainModel",
+    "build_gain_matrix",
+    "compute_scheduling_gains",
+    "QueryClusters",
+    "cluster_queries",
+    "ConcurrentPredictionModel",
+    "LearnedSimulator",
+    "SimulatedSession",
+    "SimulatorMetrics",
+    "BQSched",
+    "LSchedScheduler",
+    "RLSchedulerBase",
+]

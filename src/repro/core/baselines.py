@@ -1,0 +1,121 @@
+"""Heuristic scheduling baselines: Random, FIFO, MCF.
+
+These are the strategies pipeline tools such as DBT use today (Section I).
+They pick the next query to submit without modelling resource sharing or
+contention, and always use the default running parameters — exactly how a
+parameter-oblivious pipeline runner behaves.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..encoder import SchedulingSnapshot
+from ..exceptions import SchedulingError
+from .env import SchedulingEnv
+from .types import SchedulingResult, StrategyEvaluation
+
+__all__ = ["BaseScheduler", "RandomScheduler", "FIFOScheduler", "MCFScheduler", "run_episode"]
+
+
+class BaseScheduler(abc.ABC):
+    """Common interface of every scheduling strategy in the repository."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        """Return the flat action to take in ``env`` given the current ``snapshot``."""
+
+    def on_round_start(self, env: SchedulingEnv) -> None:
+        """Hook called after ``env.reset``; heuristics that precompute an order use it."""
+
+    def run_round(self, env: SchedulingEnv, round_id: int | None = None) -> SchedulingResult:
+        """Schedule one complete round and return the result."""
+        snapshot = env.reset(round_id=round_id, strategy=self.name)
+        self.on_round_start(env)
+        done = False
+        total_reward = 0.0
+        while not done:
+            action = self.select_action(env, snapshot)
+            step = env.step(action)
+            snapshot = step.snapshot
+            total_reward += step.reward
+            done = step.done
+        result = env.result()
+        result.strategy = self.name
+        result.total_reward = total_reward
+        return result
+
+    def evaluate(self, env: SchedulingEnv, rounds: int = 5, base_round_id: int = 0) -> StrategyEvaluation:
+        """Run ``rounds`` scheduling rounds and collect efficiency / stability metrics."""
+        if rounds < 1:
+            raise SchedulingError("rounds must be >= 1")
+        evaluation = StrategyEvaluation(strategy=self.name)
+        for offset in range(rounds):
+            result = self.run_round(env, round_id=base_round_id + offset)
+            evaluation.add(result.makespan)
+        return evaluation
+
+
+def run_episode(env: SchedulingEnv, scheduler: BaseScheduler, round_id: int | None = None) -> SchedulingResult:
+    """Convenience wrapper mirroring :meth:`BaseScheduler.run_round`."""
+    return scheduler.run_round(env, round_id=round_id)
+
+
+class _HeuristicScheduler(BaseScheduler):
+    """Shared machinery: pick a pending query by some key, default configuration."""
+
+    def _pending_slots(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> list[int]:
+        if env.cluster_mode:
+            raise SchedulingError(f"{self.name} operates on query-level environments only")
+        pending = snapshot.pending_ids
+        if not pending:
+            raise SchedulingError("no pending query to schedule")
+        return pending
+
+    def _default_config(self, env: SchedulingEnv, query_id: int) -> int:
+        allowed = env.mask.allowed_configs(query_id)
+        return allowed[0] if allowed else 0
+
+
+class RandomScheduler(_HeuristicScheduler):
+    """Submit pending queries in uniformly random order."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        pending = self._pending_slots(env, snapshot)
+        query_id = int(self._rng.choice(pending))
+        return env.encode_action(query_id, self._default_config(env, query_id))
+
+
+class FIFOScheduler(_HeuristicScheduler):
+    """Submit queries in their original (template) order — what DBT does."""
+
+    name = "FIFO"
+
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        pending = self._pending_slots(env, snapshot)
+        query_id = min(pending)
+        return env.encode_action(query_id, self._default_config(env, query_id))
+
+
+class MCFScheduler(_HeuristicScheduler):
+    """Maximum Cost First: submit the slowest pending query first.
+
+    Costs come from the environment's external knowledge (log-derived average
+    execution times), which mirrors extracting them from historical logs.
+    """
+
+    name = "MCF"
+
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        pending = self._pending_slots(env, snapshot)
+        query_id = max(pending, key=lambda qid: env.knowledge.average_time(qid))
+        return env.encode_action(query_id, self._default_config(env, query_id))

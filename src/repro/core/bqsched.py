@@ -1,0 +1,366 @@
+"""The BQSched facade and the adapted LSched baseline.
+
+:class:`BQSched` wires every component of the paper together behind a small
+API:
+
+1. build the QueryFormer plan embeddings and the external knowledge
+   (isolated-probe execution times per configuration);
+2. :meth:`prepare` — run a few historical rounds against the DBMS, derive the
+   adaptive mask, the scheduling-gain clusters (for large query sets) and
+   train the learned simulator;
+3. :meth:`train` — pre-train the IQ-PPO policy against the simulator, then
+   fine-tune it against the real DBMS;
+4. :meth:`schedule` / :meth:`evaluate` — run the learned policy greedily.
+
+:class:`LSchedScheduler` is the paper's adapted baseline: the same state
+representation but plain PPO, no adaptive masking, no clustering and no
+simulator pre-training.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..config import BQSchedConfig
+from ..dbms import ConfigurationSpace, DatabaseEngine, ExecutionLog
+from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
+from ..exceptions import SchedulingError
+from ..plans import PlanFeaturizer
+from ..workloads import BatchQuerySet, Workload
+from .baselines import BaseScheduler
+from .clustering import QueryClusters, cluster_queries
+from .env import SchedulingEnv
+from .gain import build_gain_matrix
+from .iq_ppo import IQPPOTrainer
+from .knowledge import ExternalKnowledge
+from .masking import AdaptiveMask
+from .policy import ActorCriticNetwork
+from .ppg import PPGTrainer
+from .ppo import PPOTrainer, TrainingHistory
+from .rollout import RolloutBuffer
+from .simulator import LearnedSimulator
+from .types import SchedulingResult, StrategyEvaluation
+
+__all__ = ["RLSchedulerBase", "BQSched", "LSchedScheduler"]
+
+_ALGORITHMS = {"ppo": PPOTrainer, "ppg": PPGTrainer, "iq-ppo": IQPPOTrainer}
+
+
+class RLSchedulerBase(BaseScheduler):
+    """Shared machinery of the RL-based schedulers (BQSched and LSched)."""
+
+    name = "RL"
+    algorithm = "ppo"
+    use_masking = False
+    use_clustering = False
+    use_simulator = False
+    use_attention_state = True
+
+    def __init__(
+        self,
+        workload: Workload,
+        engine: DatabaseEngine,
+        config: BQSchedConfig | None = None,
+    ) -> None:
+        self.workload = workload
+        self.engine = engine
+        self.config = config or BQSchedConfig()
+        self.batch: BatchQuerySet = workload.batch_query_set()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        self.config_space = ConfigurationSpace(self.config.scheduler)
+        featurizer = PlanFeaturizer(workload.catalog)
+        self.queryformer = QueryFormer(featurizer, self.config.encoder, self.rng)
+        self.plan_cache = PlanEmbeddingCache(self.queryformer)
+        self.plan_embeddings = self.plan_cache.embeddings_for(self.batch)
+
+        self.knowledge = ExternalKnowledge.from_probes(engine, self.batch, self.config_space)
+        self.mask = (
+            AdaptiveMask.build(self.batch, self.knowledge, self.config_space, self.config.masking)
+            if self.use_masking
+            else AdaptiveMask.unmasked(len(self.batch), len(self.config_space))
+        )
+        self.clusters: QueryClusters | None = None
+        self.simulator: LearnedSimulator | None = None
+        self.history_log = ExecutionLog()
+
+        run_featurizer = RunStateFeaturizer(num_configs=len(self.config_space))
+        self.state_encoder = StateEncoder(
+            plan_embedding_dim=self.config.encoder.plan_embedding_dim,
+            run_state_featurizer=run_featurizer,
+            config=self.config.encoder,
+            rng=self.rng,
+            use_attention=self.use_attention_state,
+        )
+        self.policy = ActorCriticNetwork(
+            state_encoder=self.state_encoder,
+            num_configs=len(self.config_space),
+            rng=self.rng,
+        )
+        self.env = self._build_env(backend=self.engine)
+        self.trainer: PPOTrainer | None = None
+        self.timings: dict[str, float] = {}
+        self._prepared = False
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        engine: DatabaseEngine,
+        config: BQSchedConfig | None = None,
+        seed: int | None = None,
+    ) -> "RLSchedulerBase":
+        """Build a scheduler for ``workload`` executing on ``engine``."""
+        config = config or BQSchedConfig()
+        if seed is not None:
+            config.seed = seed
+        return cls(workload, engine, config)
+
+    def _build_env(self, backend) -> SchedulingEnv:
+        return SchedulingEnv(
+            batch=self.batch,
+            backend=backend,
+            scheduler_config=self.config.scheduler,
+            config_space=self.config_space,
+            knowledge=self.knowledge,
+            mask=self.mask,
+            clusters=self.clusters,
+            strategy_name=self.name,
+        )
+
+    def _make_trainer(self, env: SchedulingEnv) -> PPOTrainer:
+        trainer_cls = _ALGORITHMS[self.algorithm]
+        return trainer_cls(
+            policy=self.policy,
+            plan_embeddings=self.plan_embeddings,
+            env=env,
+            config=self.config.ppo,
+            seed=self.config.seed,
+            eval_env=self.env,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Preparation: historical logs, masking refresh, clustering, simulator
+    # ------------------------------------------------------------------ #
+    def prepare(self, history_rounds: int = 3) -> "RLSchedulerBase":
+        """Collect historical logs and build the log-derived components."""
+        started = time.perf_counter()
+        orders = []
+        base_order = [q.query_id for q in self.batch]
+        for round_index in range(history_rounds):
+            order = list(base_order)
+            shuffler = np.random.default_rng((self.config.seed, round_index))
+            shuffler.shuffle(order)
+            orders.append(order)
+        log = self.engine.collect_logs(
+            self.batch,
+            orders,
+            self.config_space.default,
+            num_connections=self.config.scheduler.num_connections,
+            strategy="history",
+        )
+        self.history_log.extend(log)
+        self.knowledge.update_from_log(self.history_log)
+
+        if self.use_clustering and self.config.clustering.enabled:
+            gain_matrix = build_gain_matrix(
+                self.history_log,
+                self.batch,
+                plan_embeddings=self.plan_embeddings,
+                hidden_dim=self.config.clustering.gain_model_hidden,
+                seed=self.config.seed,
+            )
+            num_clusters = min(self.config.clustering.num_clusters, len(self.batch))
+            self.clusters = cluster_queries(
+                self.batch,
+                gain_matrix,
+                num_clusters,
+                knowledge=self.knowledge,
+                intra_cluster_order=self.config.clustering.intra_cluster_order,
+            )
+            self.env = self._build_env(backend=self.engine)
+
+        if self.use_simulator:
+            self.simulator = LearnedSimulator(
+                batch=self.batch,
+                plan_embeddings=self.plan_embeddings,
+                knowledge=self.knowledge,
+                config_space=self.config_space,
+                config=self.config.simulator,
+                seed=self.config.seed,
+            )
+            self.simulator.train_from_log(self.history_log)
+
+        self.timings["prepare"] = time.perf_counter() - started
+        self._prepared = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        num_updates: int = 10,
+        pretrain_updates: int | None = None,
+        eval_every: int = 0,
+        history_rounds: int = 3,
+        keep_best: bool = True,
+    ) -> TrainingHistory:
+        """Train the policy (optionally pre-training against the simulator first).
+
+        Following Section IV-C, intermediate models are validated against the
+        real DBMS and the best one is kept (``keep_best``), which is also what
+        protects deployment from a late policy collapse.
+        """
+        if not self._prepared:
+            self.prepare(history_rounds=history_rounds)
+
+        self._best_score = float("inf")
+        self._best_state = None
+        if keep_best:
+            self._validate_and_keep_best()
+
+        if self.use_simulator and self.simulator is not None and (pretrain_updates is None or pretrain_updates > 0):
+            pretrain_updates = pretrain_updates if pretrain_updates is not None else num_updates
+            started = time.perf_counter()
+            sim_env = self._build_env(backend=self.simulator)
+            pretrainer = self._make_trainer(sim_env)
+            pretrainer.train(pretrain_updates, eval_every=0)
+            self.timings["pretrain"] = time.perf_counter() - started
+            if keep_best:
+                self._validate_and_keep_best()
+
+        started = time.perf_counter()
+        self.trainer = self._make_trainer(self.env)
+        checkpoint_every = max(1, num_updates // 3)
+        history = self.trainer.history
+        for start in range(0, num_updates, checkpoint_every):
+            chunk = min(checkpoint_every, num_updates - start)
+            history = self.trainer.train(chunk, eval_every=eval_every)
+            if keep_best:
+                self._validate_and_keep_best()
+        self.timings["finetune"] = time.perf_counter() - started
+        self.timings["train_total"] = self.timings.get("pretrain", 0.0) + self.timings["finetune"]
+
+        if keep_best and self._best_state is not None:
+            self.policy.load_state_dict(self._best_state)
+        return history
+
+    def _validate_and_keep_best(self, rounds: int = 1) -> float:
+        """Run a greedy validation round on the real DBMS and snapshot the best policy."""
+        evaluation = self.evaluate(self.env, rounds=rounds, base_round_id=90_000 + len(self.timings))
+        if evaluation.mean < self._best_score:
+            self._best_score = evaluation.mean
+            self._best_state = self.policy.state_dict()
+        return evaluation.mean
+
+    # ------------------------------------------------------------------ #
+    # Scheduling with the learned policy
+    # ------------------------------------------------------------------ #
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        """Greedy action from the learned policy (BaseScheduler interface)."""
+        mask = env.action_mask()
+        decision = self.policy.act(
+            self.plan_embeddings, snapshot, mask, self.rng, greedy=True, clusters=env.clusters
+        )
+        return decision.action
+
+    def schedule(self, round_id: int | None = None) -> SchedulingResult:
+        """Run one greedy scheduling round on the real DBMS."""
+        return self.run_round(self.env, round_id=round_id)
+
+    def evaluate_policy(self, rounds: int | None = None, base_round_id: int = 50_000) -> StrategyEvaluation:
+        """Efficiency / stability of the learned policy over ``rounds`` rounds."""
+        rounds = rounds or self.config.scheduler.evaluation_rounds
+        return self.evaluate(self.env, rounds=rounds, base_round_id=base_round_id)
+
+    def evaluate_on(
+        self,
+        workload: Workload,
+        engine: DatabaseEngine | None = None,
+        rounds: int = 3,
+        base_round_id: int = 70_000,
+    ) -> StrategyEvaluation:
+        """Apply the already-trained policy to a *different* workload.
+
+        This is the paper's adaptability experiment (Table II): the policy is
+        trained on one data/query scale and evaluated, without retraining, on
+        a perturbed workload.  Plan embeddings, external knowledge and the
+        adaptive mask are rebuilt for the new batch; the policy network is
+        reused as-is (the attention-based state supports variable batch
+        sizes).
+        """
+        engine = engine or self.engine
+        batch = workload.batch_query_set()
+        plan_embeddings = PlanEmbeddingCache(self.queryformer).embeddings_for(batch)
+        knowledge = ExternalKnowledge.from_probes(engine, batch, self.config_space)
+        mask = (
+            AdaptiveMask.build(batch, knowledge, self.config_space, self.config.masking)
+            if self.use_masking
+            else AdaptiveMask.unmasked(len(batch), len(self.config_space))
+        )
+        env = SchedulingEnv(
+            batch=batch,
+            backend=engine,
+            scheduler_config=self.config.scheduler,
+            config_space=self.config_space,
+            knowledge=knowledge,
+            mask=mask,
+            strategy_name=self.name,
+        )
+        evaluation = StrategyEvaluation(strategy=self.name)
+        for offset in range(rounds):
+            snapshot = env.reset(round_id=base_round_id + offset)
+            done = False
+            while not done:
+                action_mask = env.action_mask()
+                decision = self.policy.act(plan_embeddings, snapshot, action_mask, self.rng, greedy=True)
+                step = env.step(decision.action)
+                snapshot, done = step.snapshot, step.done
+            evaluation.add(env.result().makespan)
+        return evaluation
+
+    # ------------------------------------------------------------------ #
+    # Online adaptation
+    # ------------------------------------------------------------------ #
+    def ingest_online_log(self, log: ExecutionLog) -> None:
+        """Feed freshly collected logs back into the knowledge base and simulator."""
+        self.history_log.extend(log)
+        self.knowledge.update_from_log(log)
+        if self.simulator is not None:
+            self.simulator.update_from_log(log)
+
+
+class BQSched(RLSchedulerBase):
+    """The full system: IQ-PPO + adaptive masking + clustering + simulator."""
+
+    name = "BQSched"
+    algorithm = "iq-ppo"
+    use_masking = True
+    use_simulator = True
+    use_attention_state = True
+
+    def __init__(self, workload: Workload, engine: DatabaseEngine, config: BQSchedConfig | None = None) -> None:
+        config = config or BQSchedConfig()
+        # Cluster-level scheduling is only worthwhile for large query sets;
+        # honour an explicit setting, otherwise enable it automatically.
+        self.use_clustering = config.clustering.enabled or len(workload.batch_query_set()) > 150
+        if self.use_clustering:
+            config.clustering.enabled = True
+        super().__init__(workload, engine, config)
+
+
+class LSchedScheduler(RLSchedulerBase):
+    """LSched adapted to non-intrusive batch scheduling (the paper's RL baseline)."""
+
+    name = "LSched"
+    algorithm = "ppo"
+    use_masking = False
+    use_clustering = False
+    use_simulator = False
+    use_attention_state = True

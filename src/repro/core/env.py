@@ -1,0 +1,289 @@
+"""The batch-query scheduling environment.
+
+The environment turns the scheduling problem into the sequential decision
+process BQSched learns on:
+
+* a *state* is the observable runtime snapshot of every query
+  (:class:`repro.encoder.SchedulingSnapshot`);
+* an *action* selects the next pending query together with its running
+  parameters (or, in cluster mode, the next query cluster and the cluster's
+  shared configuration);
+* after each submission the clock only advances when no further decision can
+  be made (no idle connection or nothing pending), and the per-step *reward*
+  is the negative wall-clock time that elapsed, so the episode return is the
+  negative makespan the paper optimises.
+
+The environment is backend-agnostic: it drives either the real DBMS
+substrate (:class:`repro.dbms.DatabaseEngine`) or the learned incremental
+simulator (:class:`repro.core.simulator.LearnedSimulator`), which is exactly
+the non-intrusive interface the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..config import SchedulerConfig
+from ..dbms import ConfigurationSpace, RunningParameters
+from ..encoder import QueryRuntimeInfo, QueryStatus, SchedulingSnapshot
+from ..exceptions import SchedulingError
+from ..workloads import BatchQuerySet
+from .knowledge import ExternalKnowledge
+from .masking import AdaptiveMask
+from .types import SchedulingResult
+
+__all__ = ["SchedulingEnv", "StepResult", "SessionBackend"]
+
+
+class SessionBackend(Protocol):
+    """Anything that can open scheduling sessions (real engine or simulator)."""
+
+    def new_session(self, batch, num_connections=None, strategy="", round_id=None):  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Returned by :meth:`SchedulingEnv.step`."""
+
+    snapshot: SchedulingSnapshot
+    reward: float
+    done: bool
+    info: dict
+
+
+class SchedulingEnv:
+    """Gym-style environment over one batch query set and one backend."""
+
+    def __init__(
+        self,
+        batch: BatchQuerySet,
+        backend: SessionBackend,
+        scheduler_config: SchedulerConfig,
+        config_space: ConfigurationSpace,
+        knowledge: ExternalKnowledge,
+        mask: AdaptiveMask | None = None,
+        clusters=None,
+        strategy_name: str = "rl",
+    ) -> None:
+        self.batch = batch
+        self.backend = backend
+        self.scheduler_config = scheduler_config
+        self.config_space = config_space
+        self.knowledge = knowledge
+        self.num_configs = len(config_space)
+        self.mask = mask if mask is not None else AdaptiveMask.unmasked(len(batch), self.num_configs)
+        self.clusters = clusters
+        self.strategy_name = strategy_name
+        self._session = None
+        self._last_time = 0.0
+        self._cluster_remaining: list[list[int]] = []
+        self._round_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Action space
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster_mode(self) -> bool:
+        return self.clusters is not None
+
+    @property
+    def num_action_slots(self) -> int:
+        """Number of selectable entities (queries, or clusters in cluster mode)."""
+        return self.clusters.num_clusters if self.cluster_mode else len(self.batch)
+
+    @property
+    def action_dim(self) -> int:
+        """Size of the flat action space ``slots * num_configs``."""
+        return self.num_action_slots * self.num_configs
+
+    def encode_action(self, slot: int, config_index: int) -> int:
+        """Flatten (query-or-cluster index, configuration index) into one action id."""
+        if not 0 <= slot < self.num_action_slots:
+            raise SchedulingError(f"slot {slot} out of range")
+        if not 0 <= config_index < self.num_configs:
+            raise SchedulingError(f"config index {config_index} out of range")
+        return slot * self.num_configs + config_index
+
+    def decode_action(self, action: int) -> tuple[int, int]:
+        """Inverse of :meth:`encode_action`."""
+        if not 0 <= action < self.action_dim:
+            raise SchedulingError(f"action {action} out of range (dim={self.action_dim})")
+        return action // self.num_configs, action % self.num_configs
+
+    def action_mask(self) -> np.ndarray:
+        """Boolean mask of currently valid actions."""
+        self._require_session()
+        if not self.cluster_mode:
+            return self.mask.action_mask(self._session.pending)
+        mask = np.zeros(self.action_dim, dtype=bool)
+        for cluster_id, remaining in enumerate(self._cluster_remaining):
+            if not remaining:
+                continue
+            allowed = self._cluster_allowed_configs(cluster_id)
+            for config_index in allowed:
+                mask[cluster_id * self.num_configs + config_index] = True
+        return mask
+
+    def _cluster_allowed_configs(self, cluster_id: int) -> list[int]:
+        """A configuration is allowed at cluster level unless every member masks it."""
+        members = self.clusters.members(cluster_id)
+        allowed: set[int] = set()
+        for query_id in members:
+            allowed.update(self.mask.allowed_configs(query_id))
+        return sorted(allowed) if allowed else list(range(self.num_configs))
+
+    # ------------------------------------------------------------------ #
+    # Episode control
+    # ------------------------------------------------------------------ #
+    def reset(self, round_id: int | None = None, strategy: str | None = None) -> SchedulingSnapshot:
+        """Start a new scheduling round and return the initial snapshot."""
+        if round_id is None:
+            round_id = self._round_counter
+        self._round_counter = round_id + 1
+        self._session = self.backend.new_session(
+            self.batch,
+            num_connections=self.scheduler_config.num_connections,
+            strategy=strategy or self.strategy_name,
+            round_id=round_id,
+        )
+        self._last_time = 0.0
+        if self.cluster_mode:
+            self._cluster_remaining = [list(self.clusters.intra_order(c)) for c in range(self.clusters.num_clusters)]
+        return self.snapshot()
+
+    def step(self, action: int) -> StepResult:
+        """Apply one scheduling decision and advance the round as far as possible."""
+        self._require_session()
+        slot, config_index = self.decode_action(action)
+        time_before = self._session.current_time
+        if self.cluster_mode:
+            self._submit_cluster(slot, config_index)
+        else:
+            self._submit_query(slot, config_index)
+
+        # Advance the clock until another decision is possible or the round ends.
+        while not self._session.is_done and not self._can_decide():
+            self._session.advance()
+
+        elapsed = self._session.current_time - time_before
+        reward = -elapsed * self.scheduler_config.reward_scale - self.scheduler_config.step_penalty
+        done = self._session.is_done
+        snapshot = self.snapshot()
+        info = {"time": self._session.current_time, "makespan": self._session.makespan if done else None}
+        return StepResult(snapshot=snapshot, reward=reward, done=done, info=info)
+
+    def result(self) -> SchedulingResult:
+        """Return the finished round as a :class:`SchedulingResult`."""
+        self._require_session()
+        if not self._session.is_done:
+            raise SchedulingError("the current round has not finished yet")
+        return SchedulingResult(
+            strategy=self.strategy_name,
+            makespan=self._session.makespan,
+            round_log=self._session.log,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Submission helpers
+    # ------------------------------------------------------------------ #
+    def _submit_query(self, query_id: int, config_index: int) -> None:
+        if query_id not in self._session.pending:
+            raise SchedulingError(f"query {query_id} is not pending")
+        if not self.mask.is_allowed(query_id, config_index):
+            raise SchedulingError(f"configuration {config_index} is masked for query {query_id}")
+        self._session.submit(query_id, self.config_space[config_index])
+
+    def _submit_cluster(self, cluster_id: int, config_index: int) -> None:
+        remaining = self._cluster_remaining[cluster_id]
+        if not remaining:
+            raise SchedulingError(f"cluster {cluster_id} has no remaining queries")
+        cluster_params = self.config_space[config_index]
+        # Drain the selected cluster: fill idle connections, advancing the
+        # clock in between, until every member query has been submitted.
+        while remaining:
+            while remaining and self._session.has_idle_connection:
+                query_id = remaining.pop(0)
+                params = self._resolve_cluster_config(query_id, cluster_params, config_index)
+                self._session.submit(query_id, params)
+            if remaining:
+                self._session.advance()
+
+    def _resolve_cluster_config(
+        self, query_id: int, cluster_params: RunningParameters, config_index: int
+    ) -> RunningParameters:
+        """Use the cluster configuration unless the query's own mask forbids it."""
+        if self.mask.is_allowed(query_id, config_index):
+            return cluster_params
+        allowed = self.mask.allowed_configs(query_id)
+        return self.config_space.closest_to(cluster_params, allowed=allowed)
+
+    def _can_decide(self) -> bool:
+        if not self._session.has_idle_connection:
+            return False
+        if self.cluster_mode:
+            return any(self._cluster_remaining)
+        return self._session.has_pending
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> SchedulingSnapshot:
+        """Build the observable state of every query at the current instant."""
+        self._require_session()
+        session = self._session
+        now = session.current_time
+        running = {state.query.query_id: state for state in session.running_states()}
+        finished = session.finished
+        infos = []
+        for query in self.batch:
+            query_id = query.query_id
+            if query_id in running:
+                state = running[query_id]
+                config_index = self.config_space.index_of(state.parameters)
+                infos.append(
+                    QueryRuntimeInfo(
+                        query_id=query_id,
+                        status=QueryStatus.RUNNING,
+                        config_index=config_index,
+                        elapsed=now - state.submit_time,
+                        expected_time=self.knowledge.expected_time(query_id, config_index),
+                    )
+                )
+            elif query_id in finished:
+                infos.append(
+                    QueryRuntimeInfo(
+                        query_id=query_id,
+                        status=QueryStatus.FINISHED,
+                        config_index=0,
+                        elapsed=0.0,
+                        expected_time=self.knowledge.average_time(query_id),
+                    )
+                )
+            else:
+                infos.append(
+                    QueryRuntimeInfo(
+                        query_id=query_id,
+                        status=QueryStatus.PENDING,
+                        config_index=-1,
+                        elapsed=0.0,
+                        expected_time=self.knowledge.average_time(query_id),
+                    )
+                )
+        return SchedulingSnapshot(time=now, infos=tuple(infos))
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self):
+        """The live session (read-only access for trainers needing logs)."""
+        self._require_session()
+        return self._session
+
+    def _require_session(self) -> None:
+        if self._session is None:
+            raise SchedulingError("call reset() before interacting with the environment")

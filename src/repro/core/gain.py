@@ -1,0 +1,142 @@
+"""Scheduling gain between query pairs (Section IV-B).
+
+The scheduling gain quantifies how much two queries help (or hurt) each
+other when executed concurrently.  For every concurrent execution of queries
+``i`` and ``j`` observed in the logs, the acceleration of each query over its
+own average execution time is weighted by the fraction of its execution that
+overlapped the other query, and by the square root of its average time (the
+paper weights complex queries more heavily).  Averaging over all such
+executions yields a symmetric gain.
+
+Not every pair appears in the logs, so a small MLP over pairs of QueryFormer
+plan embeddings is fitted to the observed gains and used to fill in the
+missing entries, which is what lets the clustering generalise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dbms import ExecutionLog
+from ..exceptions import SchedulingError
+from ..nn import Adam, MLP, Module, Tensor, concatenate, mse_loss
+from ..workloads import BatchQuerySet
+
+__all__ = ["compute_scheduling_gains", "GainModel", "build_gain_matrix"]
+
+
+def compute_scheduling_gains(log: ExecutionLog, batch: BatchQuerySet) -> tuple[np.ndarray, np.ndarray]:
+    """Compute observed pairwise scheduling gains from execution logs.
+
+    Returns ``(gains, observed)``: an ``(n, n)`` symmetric gain matrix and a
+    boolean matrix marking which pairs were actually observed concurrently.
+    Unobserved pairs hold 0.
+    """
+    n = len(batch)
+    averages = log.average_execution_times()
+    gains = np.zeros((n, n), dtype=np.float64)
+    observed = np.zeros((n, n), dtype=bool)
+    for (query_i, query_j), executions in log.pairwise_overlaps().items():
+        avg_i = averages.get(query_i)
+        avg_j = averages.get(query_j)
+        if not avg_i or not avg_j:
+            continue
+        weight_i, weight_j = np.sqrt(avg_i), np.sqrt(avg_j)
+        terms = []
+        for overlap, time_i, time_j in executions:
+            if time_i <= 0 or time_j <= 0:
+                continue
+            acceleration_i = 1.0 - time_i / avg_i
+            acceleration_j = 1.0 - time_j / avg_j
+            overlap_i = overlap / time_i
+            overlap_j = overlap / time_j
+            terms.append(
+                (overlap_i * acceleration_i * weight_i + overlap_j * acceleration_j * weight_j)
+                / (weight_i + weight_j)
+            )
+        if not terms:
+            continue
+        value = float(np.mean(terms))
+        gains[query_i, query_j] = gains[query_j, query_i] = value
+        observed[query_i, query_j] = observed[query_j, query_i] = True
+    return gains, observed
+
+
+class GainModel(Module):
+    """Symmetric MLP predicting the scheduling gain of a query pair.
+
+    Symmetry is enforced by evaluating the MLP on both orderings of the pair
+    and summing, exactly as in the paper.
+    """
+
+    def __init__(self, plan_embedding_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.net = MLP([2 * plan_embedding_dim, hidden_dim, 1], rng, activation="tanh")
+
+    def forward(self, embedding_i: np.ndarray, embedding_j: np.ndarray) -> Tensor:
+        forward_pair = Tensor(np.concatenate([embedding_i, embedding_j]))
+        reverse_pair = Tensor(np.concatenate([embedding_j, embedding_i]))
+        return (self.net(forward_pair) + self.net(reverse_pair)).reshape(1)
+
+    def fit(
+        self,
+        embeddings: np.ndarray,
+        gains: np.ndarray,
+        observed: np.ndarray,
+        epochs: int = 30,
+        learning_rate: float = 1e-2,
+        seed: int = 0,
+    ) -> list[float]:
+        """Fit the model to the observed entries of the gain matrix."""
+        pairs = [(i, j) for i in range(gains.shape[0]) for j in range(i + 1, gains.shape[0]) if observed[i, j]]
+        if not pairs:
+            raise SchedulingError("gain model needs at least one observed pair to fit")
+        optimizer = Adam(self.parameters(), lr=learning_rate)
+        rng = np.random.default_rng(seed)
+        losses = []
+        for _ in range(epochs):
+            rng.shuffle(pairs)
+            epoch_losses = []
+            for i, j in pairs:
+                prediction = self.forward(embeddings[i], embeddings[j])
+                loss = mse_loss(prediction, np.array([gains[i, j]]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(float(loss.data))
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+    def predict(self, embedding_i: np.ndarray, embedding_j: np.ndarray) -> float:
+        from ..nn import no_grad
+
+        with no_grad():
+            return float(self.forward(embedding_i, embedding_j).data[0])
+
+
+def build_gain_matrix(
+    log: ExecutionLog,
+    batch: BatchQuerySet,
+    plan_embeddings: np.ndarray | None = None,
+    hidden_dim: int = 32,
+    epochs: int = 30,
+    seed: int = 0,
+) -> np.ndarray:
+    """Observed gains completed with model predictions for unobserved pairs.
+
+    When ``plan_embeddings`` is omitted (or no pair was observed concurrently)
+    the unobserved entries stay at zero.
+    """
+    gains, observed = compute_scheduling_gains(log, batch)
+    if plan_embeddings is None or not observed.any():
+        return gains
+    model = GainModel(plan_embeddings.shape[1], hidden_dim, np.random.default_rng(seed))
+    model.fit(plan_embeddings, gains, observed, epochs=epochs, seed=seed)
+    completed = gains.copy()
+    n = len(batch)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not observed[i, j]:
+                value = model.predict(plan_embeddings[i], plan_embeddings[j])
+                completed[i, j] = completed[j, i] = value
+    return completed

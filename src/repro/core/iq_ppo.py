@@ -1,0 +1,58 @@
+"""IQ-PPO: auxiliary-task-enhanced PPO (Algorithm 1 of the paper).
+
+Batch query scheduling gives the agent only one sparse makespan signal per
+episode, but the execution log contains one completion signal per query.
+IQ-PPO exploits them: every few PPO iterations it runs an *auxiliary phase*
+that trains the shared state representation to predict, for each stored
+decision state, the remaining time of the earliest-finishing concurrent
+query, while a behaviour-cloning KL term keeps the policy from drifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, clip_grad_norm, kl_divergence, masked_log_softmax
+from .ppo import PPOTrainer
+from .rollout import RolloutBuffer
+
+__all__ = ["IQPPOTrainer"]
+
+
+class IQPPOTrainer(PPOTrainer):
+    """PPO plus the individual-query-completion auxiliary phase."""
+
+    algorithm = "iq-ppo"
+
+    def auxiliary_phase(self, buffer: RolloutBuffer) -> float:
+        """Optimise L_joint = L_aux + beta_clone * KL(pi_old || pi_new)."""
+        transitions = buffer.sample_with_aux(self.config.minibatch_size, self.rng)
+        if not transitions:
+            return 0.0
+        old_log_probs = self._snapshot_old_policy(transitions)
+        time_scale = self.policy.state_encoder.run_state_featurizer.time_scale
+        losses = []
+        for _ in range(self.config.aux_epochs):
+            batch_losses = []
+            for transition, old in zip(transitions, old_log_probs):
+                predicted, new_log_probs = self.policy.evaluate_auxiliary(
+                    self.plan_embeddings,
+                    transition.snapshot,
+                    transition.aux_query_id,
+                    transition.mask,
+                    clusters=self.env.clusters,
+                )
+                target = Tensor(np.array(transition.aux_target / time_scale))
+                aux_loss = (predicted - target) ** 2 * 0.5
+                clone = kl_divergence(old, new_log_probs)
+                batch_losses.append(aux_loss + self.config.beta_clone * clone)
+            total = batch_losses[0]
+            for extra in batch_losses[1:]:
+                total = total + extra
+            total = total * (1.0 / len(batch_losses))
+            self.optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+            losses.append(float(total.data))
+        return float(np.mean(losses))

@@ -1,0 +1,155 @@
+"""Actor-critic network with the shared state representation.
+
+θ_S (the attention-based state encoder), θ_π (policy head), θ_V (value head)
+and θ_A (auxiliary finish-time head) from Figure 2.  The policy head maps
+each per-query representation ``x''_i`` to one logit per running-parameter
+configuration; in cluster mode, cluster logits are produced from the mean of
+the member queries' representations (the paper pools member embeddings when
+scheduling at cluster granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import EncoderConfig
+from ..encoder import SchedulingSnapshot, StateEncoder, StateRepresentation
+from ..exceptions import SchedulingError
+from ..nn import MLP, Module, Tensor, concatenate, masked_log_softmax, no_grad, stack
+
+__all__ = ["ActorCriticNetwork", "PolicyDecision"]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Result of sampling one action from the policy."""
+
+    action: int
+    log_prob: float
+    value: float
+
+
+class ActorCriticNetwork(Module):
+    """Policy, value and auxiliary heads over the shared state encoder."""
+
+    def __init__(
+        self,
+        state_encoder: StateEncoder,
+        num_configs: int,
+        rng: np.random.Generator,
+        head_hidden: int = 64,
+    ) -> None:
+        super().__init__()
+        if num_configs < 1:
+            raise SchedulingError("num_configs must be >= 1")
+        self.state_encoder = state_encoder
+        self.num_configs = num_configs
+        state_dim = state_encoder.config.state_dim
+        self.policy_head = MLP([state_dim, head_hidden, num_configs], rng, activation="tanh")
+        self.value_head = MLP([state_dim, head_hidden, 1], rng, activation="tanh")
+        self.aux_head = MLP([state_dim, head_hidden, 1], rng, activation="tanh")
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def representation(self, plan_embeddings: np.ndarray, snapshot: SchedulingSnapshot) -> StateRepresentation:
+        """Shared state representation for one snapshot."""
+        return self.state_encoder(plan_embeddings, snapshot)
+
+    def action_logits(
+        self,
+        representation: StateRepresentation,
+        snapshot: SchedulingSnapshot,
+        clusters=None,
+    ) -> Tensor:
+        """Flat action logits (query- or cluster-level) of shape ``(action_dim,)``."""
+        if clusters is None:
+            per_query_logits = self.policy_head(representation.per_query)
+            return per_query_logits.reshape(representation.num_queries * self.num_configs)
+        pending = set(snapshot.pending_ids)
+        cluster_tokens = []
+        for cluster_id in range(clusters.num_clusters):
+            members = [qid for qid in clusters.members(cluster_id) if qid in pending]
+            if not members:
+                members = list(clusters.members(cluster_id))
+            member_reps = representation.per_query[np.asarray(members, dtype=np.int64)]
+            cluster_tokens.append(member_reps.mean(axis=0))
+        pooled = stack(cluster_tokens, axis=0)
+        cluster_logits = self.policy_head(pooled)
+        return cluster_logits.reshape(clusters.num_clusters * self.num_configs)
+
+    def state_value(self, representation: StateRepresentation) -> Tensor:
+        """Scalar state value from the global representation."""
+        return self.value_head(representation.global_state).reshape(1)
+
+    def auxiliary_times(self, representation: StateRepresentation) -> Tensor:
+        """Predicted remaining time per query (the IQ-PPO auxiliary output)."""
+        return self.aux_head(representation.per_query).reshape(representation.num_queries)
+
+    # ------------------------------------------------------------------ #
+    # Acting and evaluation
+    # ------------------------------------------------------------------ #
+    def act(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshot: SchedulingSnapshot,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+        greedy: bool = False,
+        clusters=None,
+    ) -> PolicyDecision:
+        """Sample (or greedily pick) an action without building a gradient tape."""
+        with no_grad():
+            representation = self.representation(plan_embeddings, snapshot)
+            logits = self.action_logits(representation, snapshot, clusters=clusters)
+            log_probs = masked_log_softmax(logits, mask).data
+            value = float(self.state_value(representation).data[0])
+        if greedy:
+            action = int(np.argmax(log_probs))
+        else:
+            probs = np.exp(log_probs)
+            probs = probs / probs.sum()
+            action = int(rng.choice(len(probs), p=probs))
+        return PolicyDecision(action=action, log_prob=float(log_probs[action]), value=value)
+
+    def evaluate_action(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshot: SchedulingSnapshot,
+        action: int,
+        mask: np.ndarray,
+        clusters=None,
+    ) -> tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Differentiable evaluation of one stored transition.
+
+        Returns ``(log_prob_of_action, entropy, value, full_log_probs)``.
+        """
+        representation = self.representation(plan_embeddings, snapshot)
+        logits = self.action_logits(representation, snapshot, clusters=clusters)
+        log_probs = masked_log_softmax(logits, mask)
+        log_prob = log_probs[action]
+        probs = log_probs.exp()
+        entropy = -(probs * log_probs).sum()
+        value = self.state_value(representation)
+        return log_prob, entropy, value, log_probs
+
+    def evaluate_auxiliary(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshot: SchedulingSnapshot,
+        query_id: int,
+        mask: np.ndarray,
+        clusters=None,
+    ) -> tuple[Tensor, Tensor]:
+        """Differentiable auxiliary prediction for the earliest-finishing query.
+
+        Returns ``(predicted_remaining_time, full_log_probs)`` where the log
+        probabilities are needed for the behaviour-cloning KL term.
+        """
+        representation = self.representation(plan_embeddings, snapshot)
+        times = self.auxiliary_times(representation)
+        logits = self.action_logits(representation, snapshot, clusters=clusters)
+        log_probs = masked_log_softmax(logits, mask)
+        return times[query_id], log_probs

@@ -1,0 +1,60 @@
+"""Phasic Policy Gradient (Cobbe et al., 2021) — the paper's auxiliary baseline.
+
+PPG improves sample utilisation by re-fitting the *value* target through an
+auxiliary head attached to the policy network while constraining the policy
+with a behaviour-cloning KL term.  Figure 7 of the paper compares IQ-PPO
+against PPG; the key difference is that PPG reuses *estimated* state values
+(which may be inaccurate) whereas IQ-PPO reuses *measured* individual query
+completion times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Adam, Tensor, clip_grad_norm, kl_divergence
+from .ppo import PPOTrainer
+from .rollout import RolloutBuffer
+
+__all__ = ["PPGTrainer"]
+
+
+class PPGTrainer(PPOTrainer):
+    """PPO plus an auxiliary value-prediction phase."""
+
+    algorithm = "ppg"
+
+    def auxiliary_phase(self, buffer: RolloutBuffer) -> float:
+        """Fit the auxiliary head to GAE value targets on off-policy data."""
+        transitions = buffer.sample(self.config.minibatch_size, self.rng)
+        if not transitions:
+            return 0.0
+        old_log_probs = self._snapshot_old_policy(transitions)
+        clusters = self.env.clusters
+        losses = []
+        for _ in range(self.config.aux_epochs):
+            batch_losses = []
+            for transition, old in zip(transitions, old_log_probs):
+                representation = self.policy.representation(self.plan_embeddings, transition.snapshot)
+                predicted = self.policy.auxiliary_times(representation)
+                # PPG's auxiliary target is the state value; we predict it from
+                # the super-query channel by averaging the per-query head.
+                value_prediction = predicted.mean()
+                target = Tensor(np.array(transition.value_target))
+                aux_loss = (value_prediction - target) ** 2 * 0.5
+                logits = self.policy.action_logits(representation, transition.snapshot, clusters=clusters)
+                from ..nn import masked_log_softmax
+
+                new_log_probs = masked_log_softmax(logits, transition.mask)
+                clone = kl_divergence(old, new_log_probs)
+                batch_losses.append(aux_loss + self.config.beta_clone * clone)
+            total = batch_losses[0]
+            for extra in batch_losses[1:]:
+                total = total + extra
+            total = total * (1.0 / len(batch_losses))
+            self.optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+            losses.append(float(total.data))
+        return float(np.mean(losses))

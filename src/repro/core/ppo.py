@@ -1,0 +1,220 @@
+"""Proximal Policy Optimisation trainer (the backbone of Section III-B).
+
+:class:`PPOTrainer` is the base on-policy trainer: it collects complete
+scheduling episodes from a :class:`repro.core.env.SchedulingEnv`, computes
+GAE advantages, and optimises the clipped surrogate objective plus a value
+loss and an entropy bonus.  PPG and IQ-PPO subclass it and add their
+respective auxiliary phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import PPOConfig
+from ..nn import Adam, Tensor, clip_grad_norm, concatenate, kl_divergence
+from .env import SchedulingEnv
+from .policy import ActorCriticNetwork
+from .rollout import RolloutBuffer, Transition
+from .types import StrategyEvaluation
+
+__all__ = ["PPOTrainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-update learning curves, used by the ablation figure (Figure 7)."""
+
+    steps: list[int] = field(default_factory=list)
+    train_rewards: list[float] = field(default_factory=list)
+    train_makespans: list[float] = field(default_factory=list)
+    eval_makespans: list[float] = field(default_factory=list)
+    policy_losses: list[float] = field(default_factory=list)
+    value_losses: list[float] = field(default_factory=list)
+    aux_losses: list[float] = field(default_factory=list)
+
+    def best_eval(self) -> float:
+        return float(np.min(self.eval_makespans)) if self.eval_makespans else float("nan")
+
+
+class PPOTrainer:
+    """Plain PPO over the scheduling environment."""
+
+    algorithm = "ppo"
+
+    def __init__(
+        self,
+        policy: ActorCriticNetwork,
+        plan_embeddings: np.ndarray,
+        env: SchedulingEnv,
+        config: PPOConfig,
+        seed: int = 0,
+        eval_env: SchedulingEnv | None = None,
+    ) -> None:
+        self.policy = policy
+        self.plan_embeddings = plan_embeddings
+        self.env = env
+        self.eval_env = eval_env or env
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.optimizer = Adam(policy.parameters(), lr=config.learning_rate)
+        self.history = TrainingHistory()
+        self._total_steps = 0
+        self._updates_since_aux = 0
+        self._round_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection
+    # ------------------------------------------------------------------ #
+    def collect_rollouts(self, num_episodes: int) -> RolloutBuffer:
+        """Sample ``num_episodes`` complete scheduling rounds with the current policy."""
+        buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
+        clusters = self.env.clusters
+        for _ in range(num_episodes):
+            snapshot = self.env.reset(round_id=self._round_counter)
+            self._round_counter += 1
+            done = False
+            while not done:
+                mask = self.env.action_mask()
+                decision = self.policy.act(
+                    self.plan_embeddings, snapshot, mask, self.rng, greedy=False, clusters=clusters
+                )
+                step = self.env.step(decision.action)
+                buffer.add(
+                    Transition(
+                        snapshot=snapshot,
+                        action=decision.action,
+                        log_prob=decision.log_prob,
+                        value=decision.value,
+                        reward=step.reward,
+                        done=step.done,
+                        mask=mask,
+                        time=snapshot.time,
+                    )
+                )
+                snapshot = step.snapshot
+                done = step.done
+                self._total_steps += 1
+            result = self.env.result()
+            buffer.finish_episode(result.round_log, result.makespan)
+        return buffer
+
+    # ------------------------------------------------------------------ #
+    # Optimisation
+    # ------------------------------------------------------------------ #
+    def update(self, buffer: RolloutBuffer) -> dict[str, float]:
+        """One PPO update over the collected buffer."""
+        buffer.normalized_advantages()
+        clusters = self.env.clusters
+        policy_losses, value_losses = [], []
+        for _ in range(self.config.epochs_per_update):
+            batch = buffer.sample(self.config.minibatch_size, self.rng)
+            losses = []
+            for transition in batch:
+                log_prob, entropy, value, _ = self.policy.evaluate_action(
+                    self.plan_embeddings,
+                    transition.snapshot,
+                    transition.action,
+                    transition.mask,
+                    clusters=clusters,
+                )
+                ratio = (log_prob - transition.log_prob).exp()
+                advantage = transition.advantage
+                surrogate1 = ratio * advantage
+                surrogate2 = ratio.clip(1.0 - self.config.clip_epsilon, 1.0 + self.config.clip_epsilon) * advantage
+                # -min(s1, s2) expressed as max(-s1, -s2) so the tape stays simple.
+                clip_term = concatenate(
+                    [(surrogate1 * -1.0).reshape(1), (surrogate2 * -1.0).reshape(1)], axis=0
+                ).max()
+                value_error = value.reshape(1) - Tensor(np.array([transition.value_target]))
+                value_loss = (value_error * value_error).sum() * 0.5
+                loss = clip_term + self.config.value_coef * value_loss - self.config.entropy_coef * entropy
+                losses.append(loss)
+                policy_losses.append(float(clip_term.data))
+                value_losses.append(float(value_loss.data))
+            total = losses[0]
+            for extra in losses[1:]:
+                total = total + extra
+            total = total * (1.0 / len(losses))
+            self.optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+        return {
+            "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
+            "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
+        }
+
+    def auxiliary_phase(self, buffer: RolloutBuffer) -> float:
+        """Hook overridden by PPG / IQ-PPO; plain PPO has no auxiliary phase."""
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+    def train(self, num_updates: int, eval_every: int = 2, eval_rounds: int = 1) -> TrainingHistory:
+        """Alternate rollout collection and optimisation for ``num_updates`` rounds."""
+        for update_index in range(num_updates):
+            buffer = self.collect_rollouts(self.config.rollouts_per_update)
+            losses = self.update(buffer)
+            self._updates_since_aux += 1
+            aux_loss = 0.0
+            if self._updates_since_aux >= self.config.aux_every:
+                aux_loss = self.auxiliary_phase(buffer)
+                self._updates_since_aux = 0
+            self.history.steps.append(self._total_steps)
+            self.history.train_rewards.append(float(np.mean(buffer.episode_rewards())))
+            self.history.train_makespans.append(float(np.mean(buffer.episode_makespans())))
+            self.history.policy_losses.append(losses["policy_loss"])
+            self.history.value_losses.append(losses["value_loss"])
+            self.history.aux_losses.append(aux_loss)
+            if eval_every and (update_index + 1) % eval_every == 0:
+                evaluation = self.evaluate(rounds=eval_rounds, greedy=True)
+                self.history.eval_makespans.append(evaluation.mean)
+        return self.history
+
+    def evaluate(self, rounds: int = 5, greedy: bool = True, base_round_id: int = 10_000) -> StrategyEvaluation:
+        """Run the current policy for ``rounds`` evaluation rounds."""
+        clusters = self.eval_env.clusters
+        evaluation = StrategyEvaluation(strategy=self.algorithm)
+        for offset in range(rounds):
+            snapshot = self.eval_env.reset(round_id=base_round_id + offset)
+            done = False
+            while not done:
+                mask = self.eval_env.action_mask()
+                decision = self.policy.act(
+                    self.plan_embeddings, snapshot, mask, self.rng, greedy=greedy, clusters=clusters
+                )
+                step = self.eval_env.step(decision.action)
+                snapshot = step.snapshot
+                done = step.done
+            evaluation.add(self.eval_env.result().makespan)
+        return evaluation
+
+    # ------------------------------------------------------------------ #
+    # Shared auxiliary utilities
+    # ------------------------------------------------------------------ #
+    def _snapshot_old_policy(self, transitions: list[Transition]) -> list[np.ndarray]:
+        """Log-probabilities of the current policy before an auxiliary phase starts.
+
+        The auxiliary objectives of PPG and IQ-PPO include a behaviour-cloning
+        term ``KL(π_old || π_new)``; π_old is the policy at the moment the
+        auxiliary phase begins (Algorithm 1, line 6).
+        """
+        from ..nn import no_grad
+
+        clusters = self.env.clusters
+        snapshots: list[np.ndarray] = []
+        with no_grad():
+            for transition in transitions:
+                _, _, _, log_probs = self.policy.evaluate_action(
+                    self.plan_embeddings,
+                    transition.snapshot,
+                    transition.action,
+                    transition.mask,
+                    clusters=clusters,
+                )
+                snapshots.append(np.array(log_probs.data, copy=True))
+        return snapshots

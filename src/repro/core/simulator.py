@@ -1,0 +1,344 @@
+"""Learned incremental simulator for concurrent query execution (Section IV-C).
+
+Sampling scheduling episodes against a real DBMS is slow, so BQSched trains a
+simulator from historical logs and pre-trains the RL policy against it.  The
+simulator answers one question: *given the current set of concurrent queries
+(and how long each has been running), which finishes first and when?*  It is
+a multitask model — a classifier over concurrent queries plus a regressor for
+the earliest remaining time — over the same kind of per-query features the
+scheduler's state encoder uses, optionally with an attention layer modelling
+the mutual influence of the concurrent queries.
+
+Online logs produced during deployment can be fed back through
+:meth:`LearnedSimulator.update_from_log` to fine-tune the prediction model
+incrementally (hence *incremental* simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulatorConfig
+from ..dbms import ConfigurationSpace, ExecutionLog, QueryExecutionRecord, RoundLog, RunningParameters
+from ..dbms.engine import RunningQueryState
+from ..exceptions import SimulationError
+from ..nn import Adam, AttentionEncoder, Linear, MLP, Module, Tensor, cross_entropy, no_grad
+from ..workloads import BatchQuerySet
+from .knowledge import ExternalKnowledge
+
+__all__ = ["ConcurrentPredictionModel", "LearnedSimulator", "SimulatedSession", "SimulatorMetrics"]
+
+_TIME_SCALE = 10.0
+_MIN_REMAINING = 0.05
+
+
+@dataclass
+class SimulatorMetrics:
+    """Validation metrics of the prediction model (Table III)."""
+
+    accuracy: float
+    mse: float
+    num_examples: int
+
+    def __repr__(self) -> str:
+        return f"SimulatorMetrics(acc={self.accuracy:.1%}, mse={self.mse:.3f}, n={self.num_examples})"
+
+
+class ConcurrentPredictionModel(Module):
+    """Multitask model: earliest-finisher classification + remaining-time regression."""
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        use_attention: bool = True,
+        num_heads: int = 2,
+    ) -> None:
+        super().__init__()
+        self.use_attention = use_attention
+        self.input_proj = Linear(feature_dim, hidden_dim, rng)
+        if use_attention:
+            self.encoder = AttentionEncoder(hidden_dim, num_heads, 1, rng, norm="layer")
+        self.classifier = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
+        self.regressor = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
+
+    def forward(self, features: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Return ``(class_logits, remaining_times)`` for ``(k, feature_dim)`` inputs."""
+        tokens = self.input_proj(Tensor(features)).tanh()
+        if self.use_attention:
+            tokens = self.encoder(tokens)
+        logits = self.classifier(tokens).reshape(features.shape[0])
+        times = self.regressor(tokens).reshape(features.shape[0])
+        return logits, times
+
+
+@dataclass
+class _Example:
+    """One training example derived from a concurrency snapshot."""
+
+    features: np.ndarray
+    earliest_index: int
+    earliest_remaining: float
+
+
+class LearnedSimulator:
+    """The DBMS stand-in the scheduler pre-trains against."""
+
+    def __init__(
+        self,
+        batch: BatchQuerySet,
+        plan_embeddings: np.ndarray,
+        knowledge: ExternalKnowledge,
+        config_space: ConfigurationSpace,
+        config: SimulatorConfig,
+        seed: int = 0,
+    ) -> None:
+        self.batch = batch
+        self.plan_embeddings = plan_embeddings
+        self.knowledge = knowledge
+        self.config_space = config_space
+        self.config = config
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        feature_dim = plan_embeddings.shape[1] + len(config_space) + 2
+        self.model = ConcurrentPredictionModel(
+            feature_dim=feature_dim,
+            hidden_dim=config.hidden_dim,
+            rng=rng,
+            use_attention=config.use_attention,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # Featurisation
+    # ------------------------------------------------------------------ #
+    def _features(
+        self,
+        query_ids: "tuple[int, ...] | list[int]",
+        parameters: "tuple[RunningParameters, ...] | list[RunningParameters]",
+        elapsed: "tuple[float, ...] | list[float]",
+    ) -> np.ndarray:
+        rows = []
+        for query_id, params, elapsed_time in zip(query_ids, parameters, elapsed):
+            config_index = self.config_space.index_of(params)
+            config_onehot = np.zeros(len(self.config_space))
+            config_onehot[config_index] = 1.0
+            expected = self.knowledge.expected_time(query_id, config_index)
+            rows.append(
+                np.concatenate(
+                    [
+                        self.plan_embeddings[query_id],
+                        config_onehot,
+                        [np.tanh(elapsed_time / _TIME_SCALE), np.tanh(expected / _TIME_SCALE)],
+                    ]
+                )
+            )
+        return np.stack(rows, axis=0)
+
+    def _examples_from_log(self, log: ExecutionLog) -> list[_Example]:
+        examples = []
+        for snapshot in log.concurrency_snapshots():
+            features = self._features(snapshot.running_query_ids, snapshot.parameters, snapshot.elapsed)
+            examples.append(
+                _Example(
+                    features=features,
+                    earliest_index=snapshot.earliest_index,
+                    earliest_remaining=snapshot.earliest_remaining,
+                )
+            )
+        return examples
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_from_log(
+        self, log: ExecutionLog, epochs: int | None = None, validation_fraction: float = 0.2
+    ) -> SimulatorMetrics:
+        """Train the prediction model from historical logs.
+
+        A held-out fraction of the snapshots is used to report the
+        classification accuracy and regression MSE of Table III.
+        """
+        examples = self._examples_from_log(log)
+        if len(examples) < 4:
+            raise SimulationError("not enough concurrency snapshots in the log to train the simulator")
+        self._rng.shuffle(examples)
+        split = max(1, int(len(examples) * validation_fraction))
+        validation, training = examples[:split], examples[split:]
+        self._fit(training, epochs or self.config.epochs)
+        return self.evaluate_examples(validation)
+
+    def update_from_log(self, log: ExecutionLog) -> SimulatorMetrics:
+        """Incrementally fine-tune on freshly collected (online) logs."""
+        examples = self._examples_from_log(log)
+        if not examples:
+            raise SimulationError("online log contains no concurrency snapshots")
+        self._fit(examples, self.config.incremental_epochs)
+        return self.evaluate_examples(examples)
+
+    def _fit(self, examples: list[_Example], epochs: int) -> None:
+        if not examples:
+            return
+        order = list(range(len(examples)))
+        for _ in range(epochs):
+            self._rng.shuffle(order)
+            for index in order:
+                example = examples[index]
+                logits, times = self.model(example.features)
+                classification = cross_entropy(logits, example.earliest_index)
+                target = example.earliest_remaining / _TIME_SCALE
+                prediction = times[example.earliest_index]
+                regression = (prediction - target) ** 2
+                loss = classification
+                if self.config.use_multitask:
+                    loss = loss + self.config.gamma_regression * regression
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+
+    def evaluate_examples(self, examples: list[_Example]) -> SimulatorMetrics:
+        """Accuracy / MSE of the model on a set of examples."""
+        if not examples:
+            return SimulatorMetrics(accuracy=float("nan"), mse=float("nan"), num_examples=0)
+        correct = 0
+        squared_errors = []
+        with no_grad():
+            for example in examples:
+                logits, times = self.model(example.features)
+                predicted_index = int(np.argmax(logits.data))
+                correct += int(predicted_index == example.earliest_index)
+                predicted_time = float(times.data[predicted_index])
+                squared_errors.append((predicted_time - example.earliest_remaining / _TIME_SCALE) ** 2)
+        return SimulatorMetrics(
+            accuracy=correct / len(examples),
+            mse=float(np.mean(squared_errors)),
+            num_examples=len(examples),
+        )
+
+    def evaluate_on_log(self, log: ExecutionLog) -> SimulatorMetrics:
+        """Evaluate on all snapshots of ``log`` without training."""
+        return self.evaluate_examples(self._examples_from_log(log))
+
+    # ------------------------------------------------------------------ #
+    # Backend protocol
+    # ------------------------------------------------------------------ #
+    def new_session(
+        self,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+    ) -> "SimulatedSession":
+        """Open a simulated scheduling round (mirrors :class:`DatabaseEngine`)."""
+        return SimulatedSession(
+            simulator=self,
+            batch=batch,
+            num_connections=num_connections or 8,
+            strategy=strategy,
+            round_id=round_id or 0,
+        )
+
+
+class SimulatedSession:
+    """A scheduling round served entirely by the learned simulator."""
+
+    def __init__(
+        self,
+        simulator: LearnedSimulator,
+        batch: BatchQuerySet,
+        num_connections: int,
+        strategy: str = "",
+        round_id: int = 0,
+    ) -> None:
+        if num_connections < 1:
+            raise SimulationError("num_connections must be >= 1")
+        self.simulator = simulator
+        self.batch = batch
+        self.num_connections = num_connections
+        self.current_time = 0.0
+        self.pending: list[int] = [q.query_id for q in batch]
+        self.running: dict[int, RunningQueryState] = {}
+        self.finished: dict[int, float] = {}
+        self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
+        self._idle = num_connections
+
+    # -- protocol properties ------------------------------------------- #
+    @property
+    def is_done(self) -> bool:
+        return not self.pending and not self.running
+
+    @property
+    def has_idle_connection(self) -> bool:
+        return self._idle > 0
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finished.values(), default=0.0)
+
+    def running_states(self) -> list[RunningQueryState]:
+        return list(self.running.values())
+
+    def pending_queries(self):
+        return [self.batch[i] for i in self.pending]
+
+    # -- protocol methods ----------------------------------------------- #
+    def submit(self, query_id: int, parameters: RunningParameters) -> int:
+        if query_id not in self.pending:
+            raise SimulationError(f"query {query_id} is not pending in the simulator")
+        if self._idle <= 0:
+            raise SimulationError("no idle connection in the simulated session")
+        self._idle -= 1
+        connection = self.num_connections - self._idle - 1
+        self.pending.remove(query_id)
+        self.running[query_id] = RunningQueryState(
+            query=self.batch[query_id],
+            parameters=parameters,
+            connection=connection,
+            submit_time=self.current_time,
+            remaining_work=1.0,
+            total_work=1.0,
+        )
+        return connection
+
+    def advance(self) -> None:
+        """Predict the earliest finisher and move the clock to its finish time."""
+        if not self.running:
+            raise SimulationError("cannot advance: no query running in the simulator")
+        states = list(self.running.values())
+        query_ids = [s.query.query_id for s in states]
+        parameters = [s.parameters for s in states]
+        elapsed = [self.current_time - s.submit_time for s in states]
+        features = self.simulator._features(query_ids, parameters, elapsed)
+        with no_grad():
+            logits, times = self.simulator.model(features)
+        index = int(np.argmax(logits.data))
+        remaining = max(_MIN_REMAINING, float(times.data[index]) * _TIME_SCALE)
+        self.current_time += remaining
+        state = states[index]
+        query_id = state.query.query_id
+        del self.running[query_id]
+        self._idle += 1
+        self.finished[query_id] = self.current_time
+        self.log.add(
+            QueryExecutionRecord(
+                query_id=query_id,
+                query_name=state.query.name,
+                template_id=state.query.template_id,
+                connection=state.connection,
+                parameters=state.parameters,
+                submit_time=state.submit_time,
+                finish_time=self.current_time,
+            )
+        )

@@ -1,0 +1,22 @@
+"""Black-box DBMS substrate: profiles, buffer pool, fluid concurrency engine, logs."""
+
+from .buffer import BufferPool
+from .engine import CompletionEvent, DatabaseEngine, ExecutionSession, RunningQueryState
+from .logs import ConcurrencySnapshot, ExecutionLog, QueryExecutionRecord, RoundLog
+from .params import ConfigurationSpace, RunningParameters
+from .profiles import DBMSProfile
+
+__all__ = [
+    "BufferPool",
+    "CompletionEvent",
+    "DatabaseEngine",
+    "ExecutionSession",
+    "RunningQueryState",
+    "ConcurrencySnapshot",
+    "ExecutionLog",
+    "QueryExecutionRecord",
+    "RoundLog",
+    "ConfigurationSpace",
+    "RunningParameters",
+    "DBMSProfile",
+]

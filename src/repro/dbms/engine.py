@@ -1,0 +1,383 @@
+"""Fluid-model discrete-event engine for concurrent query execution.
+
+This is the substitute for the paper's real DBMS-X/Y/Z servers.  The engine
+is a *black box* from the scheduler's point of view: queries are submitted to
+connections with running parameters, and the only feedback is which query
+finished and when.  Internally a fluid model advances all running queries
+between events:
+
+* each query's work is a blend of CPU work and I/O work derived from its plan;
+* CPU rates scale with the degree of parallelism via Amdahl's law and shrink
+  under contention for the profile's CPU capacity;
+* I/O rates shrink under contention for I/O bandwidth and grow when a query
+  shares tables with concurrently running queries or finds them in the
+  shared buffer pool;
+* undersized working memory causes spills that slow memory-sensitive
+  operators down;
+* every execution is perturbed by lognormal noise so repeated rounds of the
+  same schedule differ (the σ_ov the paper reports).
+
+The model intentionally reproduces the three phenomena the paper's
+introduction identifies as the sources of scheduling head-room: resource
+contention, data sharing, and long-tail queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SchedulingError, SimulationError
+from ..workloads import BatchQuerySet, Query
+from .buffer import BufferPool
+from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
+from .params import RunningParameters
+from .profiles import DBMSProfile
+
+__all__ = ["DatabaseEngine", "ExecutionSession", "RunningQueryState", "CompletionEvent"]
+
+_EPSILON = 1e-9
+_SPILL_PENALTY = 0.8
+
+
+@dataclass
+class RunningQueryState:
+    """Mutable execution state of one in-flight query."""
+
+    query: Query
+    parameters: RunningParameters
+    connection: int
+    submit_time: float
+    remaining_work: float
+    total_work: float
+
+    @property
+    def elapsed_fraction(self) -> float:
+        """Fraction of the (noisy) work already completed."""
+        return 1.0 - self.remaining_work / self.total_work if self.total_work > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    """Returned by :meth:`ExecutionSession.advance`: one query finished."""
+
+    query_id: int
+    finish_time: float
+    connection: int
+
+
+class ExecutionSession:
+    """One scheduling round against the engine.
+
+    The session owns the clock: queries are submitted to idle connections at
+    the current time, and :meth:`advance` moves the clock to the next query
+    completion, returning the corresponding event.
+    """
+
+    def __init__(
+        self,
+        profile: DBMSProfile,
+        batch: BatchQuerySet,
+        num_connections: int,
+        rng: np.random.Generator,
+        round_id: int = 0,
+        strategy: str = "",
+        warm_buffer: BufferPool | None = None,
+    ) -> None:
+        if num_connections < 1:
+            raise SimulationError("num_connections must be >= 1")
+        self.profile = profile
+        self.batch = batch
+        self.num_connections = num_connections
+        self.round_id = round_id
+        self._rng = rng
+        self.current_time = 0.0
+        self.pending: list[int] = [q.query_id for q in batch]
+        self.running: dict[int, RunningQueryState] = {}
+        self.finished: dict[int, float] = {}
+        self._idle_connections: list[int] = list(range(num_connections))
+        self.buffer = warm_buffer if warm_buffer is not None else BufferPool(profile.buffer_pool_rows)
+        self.log = RoundLog(round_id=round_id, strategy=strategy)
+        # Per-query noise factors drawn once per round: the same query can be
+        # faster or slower in different rounds regardless of the schedule.
+        self._noise = {
+            q.query_id: float(np.exp(rng.normal(0.0, profile.noise))) for q in batch
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scheduler-facing API
+    # ------------------------------------------------------------------ #
+    @property
+    def is_done(self) -> bool:
+        return not self.pending and not self.running
+
+    @property
+    def has_idle_connection(self) -> bool:
+        return bool(self._idle_connections)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    def idle_connections(self) -> list[int]:
+        return list(self._idle_connections)
+
+    def pending_queries(self) -> list[Query]:
+        return [self.batch[i] for i in self.pending]
+
+    def running_states(self) -> list[RunningQueryState]:
+        return list(self.running.values())
+
+    def submit(self, query_id: int, parameters: RunningParameters) -> int:
+        """Submit a pending query to an idle connection at the current time.
+
+        Returns the connection id the query was placed on.
+        """
+        if query_id not in self.pending:
+            raise SchedulingError(f"query {query_id} is not pending")
+        if not self._idle_connections:
+            raise SchedulingError("no idle connection available")
+        connection = self._idle_connections.pop(0)
+        query = self.batch[query_id]
+        noisy_work = query.total_work * self._noise[query_id]
+        self.pending.remove(query_id)
+        self.running[query_id] = RunningQueryState(
+            query=query,
+            parameters=parameters,
+            connection=connection,
+            submit_time=self.current_time,
+            remaining_work=noisy_work,
+            total_work=noisy_work,
+        )
+        return connection
+
+    def advance(self) -> CompletionEvent:
+        """Advance the clock to the next query completion and return it."""
+        if not self.running:
+            raise SimulationError("cannot advance: no query is running")
+        rates = self._progress_rates()
+        time_to_finish = {
+            query_id: state.remaining_work / max(rates[query_id], _EPSILON)
+            for query_id, state in self.running.items()
+        }
+        finishing_id = min(time_to_finish, key=time_to_finish.get)
+        delta = time_to_finish[finishing_id]
+        self.current_time += delta
+        for query_id, state in self.running.items():
+            state.remaining_work = max(0.0, state.remaining_work - rates[query_id] * delta)
+
+        state = self.running.pop(finishing_id)
+        self._idle_connections.append(state.connection)
+        self._idle_connections.sort()
+        self.finished[finishing_id] = self.current_time
+        for table, rows in state.query.tables.items():
+            self.buffer.touch(table, rows, self.current_time)
+        self.log.add(
+            QueryExecutionRecord(
+                query_id=finishing_id,
+                query_name=state.query.name,
+                template_id=state.query.template_id,
+                connection=state.connection,
+                parameters=state.parameters,
+                submit_time=state.submit_time,
+                finish_time=self.current_time,
+            )
+        )
+        return CompletionEvent(query_id=finishing_id, finish_time=self.current_time, connection=state.connection)
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time observed so far."""
+        return max(self.finished.values(), default=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Fluid model internals
+    # ------------------------------------------------------------------ #
+    def _progress_rates(self) -> dict[int, float]:
+        """Work-per-second rate of every running query under current load."""
+        states = list(self.running.values())
+        if not states:
+            return {}
+
+        amdahl = {}
+        for state in states:
+            p = state.query.parallel_fraction
+            workers = state.parameters.workers
+            amdahl[state.query.query_id] = 1.0 / ((1.0 - p) + p / workers)
+
+        cpu_demand = sum(
+            amdahl[s.query.query_id] * s.query.cpu_fraction for s in states
+        )
+        io_demand = sum(s.query.io_fraction for s in states)
+        cpu_scale = self._contention_scale(cpu_demand, self.profile.cpu_capacity)
+        io_scale = self._contention_scale(io_demand, self.profile.io_capacity)
+
+        memory_granted = sum(min(s.parameters.memory_mb, s.query.memory_demand_mb) for s in states)
+        global_pressure = max(0.0, memory_granted / self.profile.memory_capacity_mb - 1.0)
+
+        rates: dict[int, float] = {}
+        for state in states:
+            query = state.query
+            cpu_rate = amdahl[query.query_id] * cpu_scale
+            spill = self._spill_factor(state, global_pressure)
+            cpu_rate /= 1.0 + spill
+            io_rate = io_scale * (1.0 + self._sharing_boost(state, states))
+            blended = query.cpu_fraction * cpu_rate + query.io_fraction * io_rate
+            rates[query.query_id] = max(_EPSILON, blended * self.profile.speed)
+        return rates
+
+    def _contention_scale(self, demand: float, capacity: float) -> float:
+        """Proportional-share contention, softened by the internal resource manager."""
+        if demand <= capacity:
+            return 1.0
+        raw = capacity / demand
+        smoothing = self.profile.contention_smoothing
+        return (1.0 - smoothing) * raw + smoothing * np.sqrt(raw)
+
+    def _spill_factor(self, state: RunningQueryState, global_pressure: float) -> float:
+        """Slowdown from undersized working memory (spilling sorts/hashes)."""
+        query = state.query
+        if query.memory_demand_mb <= 0:
+            return 0.0
+        shortfall = max(0.0, query.memory_demand_mb - state.parameters.memory_mb) / query.memory_demand_mb
+        return _SPILL_PENALTY * query.memory_sensitivity * (shortfall + 0.5 * global_pressure)
+
+    def _sharing_boost(self, state: RunningQueryState, states: list[RunningQueryState]) -> float:
+        """I/O acceleration from concurrent scans of shared tables and warm buffer."""
+        query = state.query
+        if not query.tables:
+            return 0.0
+        total_rows = sum(query.tables.values())
+        if total_rows <= 0:
+            return 0.0
+        concurrent_tables: set[str] = set()
+        for other in states:
+            if other.query.query_id == query.query_id:
+                continue
+            concurrent_tables.update(other.query.tables)
+        shared = 0.0
+        for table, rows in query.tables.items():
+            table_rows = rows
+            concurrent_share = 0.8 if table in concurrent_tables else 0.0
+            cached_share = self.buffer.cached_fraction(table, table_rows)
+            shared += rows * max(concurrent_share, cached_share)
+        return self.profile.sharing_strength * (shared / total_rows)
+
+
+class DatabaseEngine:
+    """Factory for :class:`ExecutionSession` rounds against one DBMS profile."""
+
+    def __init__(self, profile: DBMSProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._round_counter = 0
+
+    def new_session(
+        self,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+        keep_buffer_warm: bool = False,
+        warm_buffer: BufferPool | None = None,
+    ) -> ExecutionSession:
+        """Open a fresh scheduling round.
+
+        Each round gets its own RNG stream derived from the engine seed and
+        the round id, so the per-round execution noise is reproducible yet
+        different across rounds.
+        """
+        if round_id is None:
+            round_id = self._round_counter
+        self._round_counter = max(self._round_counter, round_id) + 1
+        rng = np.random.default_rng((self.seed, round_id, 0x5EED))
+        connections = num_connections or self.profile.default_connections
+        buffer = warm_buffer if keep_buffer_warm else None
+        return ExecutionSession(
+            profile=self.profile,
+            batch=batch,
+            num_connections=connections,
+            rng=rng,
+            round_id=round_id,
+            strategy=strategy,
+            warm_buffer=buffer,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience execution helpers
+    # ------------------------------------------------------------------ #
+    def execute_order(
+        self,
+        batch: BatchQuerySet,
+        order: "list[int]",
+        parameters: "dict[int, RunningParameters] | RunningParameters",
+        num_connections: int | None = None,
+        strategy: str = "fixed-order",
+        round_id: int | None = None,
+    ) -> RoundLog:
+        """Execute ``batch`` submitting queries in ``order`` whenever a connection frees."""
+        if sorted(order) != sorted(q.query_id for q in batch):
+            raise SchedulingError("order must be a permutation of the batch query ids")
+        session = self.new_session(batch, num_connections, strategy=strategy, round_id=round_id)
+        queue = list(order)
+        while not session.is_done:
+            while queue and session.has_idle_connection:
+                query_id = queue.pop(0)
+                params = parameters if isinstance(parameters, RunningParameters) else parameters[query_id]
+                session.submit(query_id, params)
+            if session.running:
+                session.advance()
+        return session.log
+
+    def estimate_isolated_time(self, query: Query, parameters: RunningParameters) -> float:
+        """Execute one query alone on an otherwise idle system (no noise).
+
+        This is the "external knowledge" collection step of adaptive masking:
+        the periodic nature of batch workloads lets the operator profile each
+        query under every configuration.
+        """
+        batch = BatchQuerySet([query])
+        probe = batch[0]
+        rng = np.random.default_rng((self.seed, 0xC0FFEE))
+        session = ExecutionSession(
+            profile=self.profile,
+            batch=batch,
+            num_connections=1,
+            rng=rng,
+            strategy="isolated-probe",
+        )
+        session._noise = {probe.query_id: 1.0}
+        session.submit(probe.query_id, parameters)
+        event = session.advance()
+        return event.finish_time
+
+    def collect_logs(
+        self,
+        batch: BatchQuerySet,
+        orders: "list[list[int]]",
+        parameters: RunningParameters,
+        num_connections: int | None = None,
+        strategy: str = "history",
+    ) -> ExecutionLog:
+        """Run several fixed-order rounds and return the combined log.
+
+        Used to build the "historical logs" that adaptive masking, scheduling
+        gain clustering and the learned simulator are trained from.
+        """
+        log = ExecutionLog()
+        for round_index, order in enumerate(orders):
+            round_log = self.execute_order(
+                batch,
+                order,
+                parameters,
+                num_connections=num_connections,
+                strategy=strategy,
+                round_id=round_index,
+            )
+            log.add_round(round_log)
+        return log

@@ -1,0 +1,203 @@
+"""Execution logs.
+
+Logs are the only feedback channel a non-intrusive scheduler has: per-query
+submit and finish times across historical scheduling rounds.  Everything the
+paper derives from logs is implemented on top of :class:`ExecutionLog`:
+
+* average execution times (MCF ordering, running-state features ``t_i|R_i``),
+* per-configuration execution times (adaptive masking),
+* pairwise concurrency overlaps (scheduling gain),
+* concurrent-state snapshots (training data for the learned simulator and
+  the IQ-PPO auxiliary task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .params import RunningParameters
+
+__all__ = ["QueryExecutionRecord", "RoundLog", "ExecutionLog", "ConcurrencySnapshot"]
+
+
+@dataclass(frozen=True)
+class QueryExecutionRecord:
+    """One query execution inside one scheduling round."""
+
+    query_id: int
+    query_name: str
+    template_id: int
+    connection: int
+    parameters: RunningParameters
+    submit_time: float
+    finish_time: float
+
+    def __post_init__(self) -> None:
+        if self.finish_time < self.submit_time:
+            raise ValueError(
+                f"query {self.query_name} finishes ({self.finish_time}) before it starts ({self.submit_time})"
+            )
+
+    @property
+    def execution_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+    def overlap_with(self, other: "QueryExecutionRecord") -> float:
+        """Wall-clock overlap between this execution and ``other``."""
+        start = max(self.submit_time, other.submit_time)
+        end = min(self.finish_time, other.finish_time)
+        return max(0.0, end - start)
+
+
+@dataclass(frozen=True)
+class ConcurrencySnapshot:
+    """The state of all in-flight queries at one submission instant.
+
+    ``elapsed`` holds, per running query, how long it has already been
+    executing; ``earliest_index`` points at the running query that actually
+    finished first after this instant, and ``earliest_remaining`` is how much
+    longer it ran — the two supervision targets of the learned simulator.
+    """
+
+    time: float
+    running_query_ids: tuple[int, ...]
+    parameters: tuple[RunningParameters, ...]
+    elapsed: tuple[float, ...]
+    earliest_index: int
+    earliest_remaining: float
+
+
+@dataclass
+class RoundLog:
+    """All query executions of a single scheduling round."""
+
+    round_id: int
+    strategy: str = ""
+    records: list[QueryExecutionRecord] = field(default_factory=list)
+
+    def add(self, record: QueryExecutionRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time minus earliest submit time of the round."""
+        if not self.records:
+            return 0.0
+        start = min(r.submit_time for r in self.records)
+        end = max(r.finish_time for r in self.records)
+        return end - start
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryExecutionRecord]:
+        return iter(self.records)
+
+    def concurrency_snapshots(self) -> list[ConcurrencySnapshot]:
+        """Reconstruct the concurrent-query state at every submission instant."""
+        snapshots: list[ConcurrencySnapshot] = []
+        records = sorted(self.records, key=lambda r: r.submit_time)
+        for record in records:
+            now = record.submit_time
+            running = [r for r in records if r.submit_time <= now < r.finish_time]
+            if not running:
+                continue
+            remaining = [r.finish_time - now for r in running]
+            earliest = int(np.argmin(remaining))
+            snapshots.append(
+                ConcurrencySnapshot(
+                    time=now,
+                    running_query_ids=tuple(r.query_id for r in running),
+                    parameters=tuple(r.parameters for r in running),
+                    elapsed=tuple(now - r.submit_time for r in running),
+                    earliest_index=earliest,
+                    earliest_remaining=float(remaining[earliest]),
+                )
+            )
+        return snapshots
+
+
+class ExecutionLog:
+    """A collection of :class:`RoundLog` entries across scheduling rounds."""
+
+    def __init__(self, rounds: Iterable[RoundLog] | None = None) -> None:
+        self._rounds: list[RoundLog] = list(rounds or [])
+
+    def add_round(self, round_log: RoundLog) -> None:
+        self._rounds.append(round_log)
+
+    def extend(self, other: "ExecutionLog") -> None:
+        """Append all rounds of ``other`` (online / incremental log growth)."""
+        self._rounds.extend(other.rounds)
+
+    @property
+    def rounds(self) -> list[RoundLog]:
+        return list(self._rounds)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __iter__(self) -> Iterator[RoundLog]:
+        return iter(self._rounds)
+
+    def all_records(self) -> list[QueryExecutionRecord]:
+        return [record for round_log in self._rounds for record in round_log]
+
+    # ------------------------------------------------------------------ #
+    # Aggregations used by heuristics, masking and clustering
+    # ------------------------------------------------------------------ #
+    def average_execution_times(self) -> dict[int, float]:
+        """Mean execution time per query id over all rounds (MCF's cost table)."""
+        totals: dict[int, list[float]] = {}
+        for record in self.all_records():
+            totals.setdefault(record.query_id, []).append(record.execution_time)
+        return {query_id: float(np.mean(times)) for query_id, times in totals.items()}
+
+    def execution_times_by_configuration(self) -> dict[int, dict[RunningParameters, float]]:
+        """Mean execution time per (query id, configuration) — masking knowledge."""
+        buckets: dict[int, dict[RunningParameters, list[float]]] = {}
+        for record in self.all_records():
+            buckets.setdefault(record.query_id, {}).setdefault(record.parameters, []).append(
+                record.execution_time
+            )
+        return {
+            query_id: {params: float(np.mean(times)) for params, times in by_params.items()}
+            for query_id, by_params in buckets.items()
+        }
+
+    def pairwise_overlaps(self) -> dict[tuple[int, int], list[tuple[float, float, float]]]:
+        """For each unordered query pair, the list of concurrent executions.
+
+        Each entry is ``(overlap, time_i, time_j)``: the wall-clock overlap and
+        the two execution times observed in that round.  Only pairs that
+        actually overlapped are included.
+        """
+        result: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
+        for round_log in self._rounds:
+            records = round_log.records
+            for a in range(len(records)):
+                for b in range(a + 1, len(records)):
+                    rec_a, rec_b = records[a], records[b]
+                    overlap = rec_a.overlap_with(rec_b)
+                    if overlap <= 0:
+                        continue
+                    key = (min(rec_a.query_id, rec_b.query_id), max(rec_a.query_id, rec_b.query_id))
+                    if rec_a.query_id <= rec_b.query_id:
+                        entry = (overlap, rec_a.execution_time, rec_b.execution_time)
+                    else:
+                        entry = (overlap, rec_b.execution_time, rec_a.execution_time)
+                    result.setdefault(key, []).append(entry)
+        return result
+
+    def makespans(self) -> list[float]:
+        return [round_log.makespan for round_log in self._rounds]
+
+    def concurrency_snapshots(self) -> list[ConcurrencySnapshot]:
+        """All concurrent-state snapshots across rounds (simulator training data)."""
+        snapshots: list[ConcurrencySnapshot] = []
+        for round_log in self._rounds:
+            snapshots.extend(round_log.concurrency_snapshots())
+        return snapshots

@@ -1,0 +1,133 @@
+"""DBMS personalities.
+
+The paper evaluates on three anonymised systems: DBMS-X and DBMS-Y are
+centralised servers with different hardware generations, DBMS-Z is a
+three-node distributed system with its own internal resource manager (which
+is why the scheduling head-room on Z is smaller — Table I).  Each profile
+parameterises the fluid concurrency model of :class:`repro.dbms.engine.DatabaseEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["DBMSProfile"]
+
+
+@dataclass(frozen=True)
+class DBMSProfile:
+    """Resource and behaviour parameters of one black-box DBMS.
+
+    Attributes
+    ----------
+    name:
+        Display name (``DBMS-X`` etc.).
+    cpu_capacity:
+        Number of single-worker CPU units available to concurrent queries.
+    io_capacity:
+        Number of concurrent full-speed I/O streams the storage layer serves.
+    memory_capacity_mb:
+        Total working memory shared by concurrent queries.
+    buffer_pool_rows:
+        Capacity of the shared data buffer, in (scaled) rows.
+    sharing_strength:
+        How strongly a warm buffer or a concurrent scan of the same table
+        accelerates I/O (0 = no sharing benefit).
+    contention_smoothing:
+        0 → raw proportional contention; 1 → the DBMS's internal resource
+        manager fully smooths contention (DBMS-Z behaviour).
+    speed:
+        Overall hardware speed multiplier applied to all rates.
+    noise:
+        Coefficient of variation of per-execution lognormal noise; concurrent
+        execution is never perfectly repeatable.
+    default_connections:
+        The ``|C|`` the paper uses for this DBMS when not overridden.
+    """
+
+    name: str
+    cpu_capacity: float
+    io_capacity: float
+    memory_capacity_mb: float
+    buffer_pool_rows: float
+    sharing_strength: float
+    contention_smoothing: float
+    speed: float
+    noise: float
+    default_connections: int
+
+    def __post_init__(self) -> None:
+        if self.cpu_capacity <= 0 or self.io_capacity <= 0:
+            raise ConfigurationError("capacities must be positive")
+        if not 0.0 <= self.sharing_strength <= 1.0:
+            raise ConfigurationError("sharing_strength must be in [0, 1]")
+        if not 0.0 <= self.contention_smoothing <= 1.0:
+            raise ConfigurationError("contention_smoothing must be in [0, 1]")
+        if self.speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        if self.noise < 0:
+            raise ConfigurationError("noise must be >= 0")
+        if self.default_connections < 1:
+            raise ConfigurationError("default_connections must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Canonical profiles
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def dbms_x(cls) -> "DBMSProfile":
+        """Centralised server, two Xeon Gold 5218 CPUs — largest scheduling head-room."""
+        return cls(
+            name="DBMS-X",
+            cpu_capacity=12.0,
+            io_capacity=7.0,
+            memory_capacity_mb=2048.0,
+            buffer_pool_rows=4.0e6,
+            sharing_strength=0.45,
+            contention_smoothing=0.0,
+            speed=1.0,
+            noise=0.08,
+            default_connections=18,
+        )
+
+    @classmethod
+    def dbms_y(cls) -> "DBMSProfile":
+        """Centralised server, newer CPUs, slightly less contention."""
+        return cls(
+            name="DBMS-Y",
+            cpu_capacity=16.0,
+            io_capacity=9.0,
+            memory_capacity_mb=3072.0,
+            buffer_pool_rows=6.0e6,
+            sharing_strength=0.40,
+            contention_smoothing=0.15,
+            speed=1.25,
+            noise=0.10,
+            default_connections=18,
+        )
+
+    @classmethod
+    def dbms_z(cls) -> "DBMSProfile":
+        """Distributed 3-node system with an internal resource manager."""
+        return cls(
+            name="DBMS-Z",
+            cpu_capacity=36.0,
+            io_capacity=18.0,
+            memory_capacity_mb=8192.0,
+            buffer_pool_rows=1.6e7,
+            sharing_strength=0.25,
+            contention_smoothing=0.65,
+            speed=2.6,
+            noise=0.05,
+            default_connections=24,
+        )
+
+    @classmethod
+    def by_name(cls, name: str) -> "DBMSProfile":
+        """Look a profile up by its short name (``x`` / ``y`` / ``z``)."""
+        key = name.lower().replace("dbms-", "").replace("dbms_", "")
+        factories = {"x": cls.dbms_x, "y": cls.dbms_y, "z": cls.dbms_z}
+        if key not in factories:
+            raise ConfigurationError(f"unknown DBMS profile {name!r}")
+        return factories[key]()

@@ -1,0 +1,16 @@
+"""Query and state encoders: QueryFormer plan encoder + attention-based state."""
+
+from .queryformer import PlanEmbeddingCache, QueryFormer
+from .run_state import QueryRuntimeInfo, QueryStatus, RunStateFeaturizer, SchedulingSnapshot
+from .state import StateEncoder, StateRepresentation
+
+__all__ = [
+    "PlanEmbeddingCache",
+    "QueryFormer",
+    "QueryRuntimeInfo",
+    "QueryStatus",
+    "RunStateFeaturizer",
+    "SchedulingSnapshot",
+    "StateEncoder",
+    "StateRepresentation",
+]

@@ -1,0 +1,115 @@
+"""Running-state features and the scheduler-visible state snapshot.
+
+The non-intrusive scheduler observes, for every query in the batch, only its
+execution status (pending / running / finished), the running parameters it
+was submitted with, how long it has been running, and the average execution
+time extracted from logs.  These are the features ``f_i`` of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+
+__all__ = ["QueryStatus", "QueryRuntimeInfo", "SchedulingSnapshot", "RunStateFeaturizer"]
+
+
+class QueryStatus(str, Enum):
+    """Execution status of one query within the current scheduling round."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class QueryRuntimeInfo:
+    """Observable runtime state of one query at a decision instant."""
+
+    query_id: int
+    status: QueryStatus
+    config_index: int = -1
+    elapsed: float = 0.0
+    expected_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.elapsed < 0:
+            raise SchedulingError(f"elapsed time must be >= 0 for query {self.query_id}")
+        if self.status is not QueryStatus.PENDING and self.config_index < 0:
+            raise SchedulingError(
+                f"query {self.query_id} is {self.status.value} but has no configuration"
+            )
+
+
+@dataclass(frozen=True)
+class SchedulingSnapshot:
+    """The full observable state at one decision instant.
+
+    ``infos`` is aligned with the batch query ids (index ``i`` describes
+    query ``i``).  This object is what the attention-based state encoder and
+    the learned simulator consume.
+    """
+
+    time: float
+    infos: tuple[QueryRuntimeInfo, ...]
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.infos)
+
+    def ids_with_status(self, status: QueryStatus) -> list[int]:
+        return [info.query_id for info in self.infos if info.status is status]
+
+    @property
+    def pending_ids(self) -> list[int]:
+        return self.ids_with_status(QueryStatus.PENDING)
+
+    @property
+    def running_ids(self) -> list[int]:
+        return self.ids_with_status(QueryStatus.RUNNING)
+
+    @property
+    def finished_ids(self) -> list[int]:
+        return self.ids_with_status(QueryStatus.FINISHED)
+
+
+class RunStateFeaturizer:
+    """Encodes :class:`QueryRuntimeInfo` into the dense feature vector ``f_i``.
+
+    Layout: status one-hot (3) ‖ configuration one-hot (``num_configs``) ‖
+    normalised elapsed time ‖ normalised expected execution time.
+    """
+
+    def __init__(self, num_configs: int, time_scale: float = 10.0) -> None:
+        if num_configs < 1:
+            raise SchedulingError("num_configs must be >= 1")
+        if time_scale <= 0:
+            raise SchedulingError("time_scale must be positive")
+        self.num_configs = num_configs
+        self.time_scale = time_scale
+
+    @property
+    def feature_dim(self) -> int:
+        return 3 + self.num_configs + 2
+
+    def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
+        vector = np.zeros(self.feature_dim, dtype=np.float64)
+        status_index = [QueryStatus.PENDING, QueryStatus.RUNNING, QueryStatus.FINISHED].index(info.status)
+        vector[status_index] = 1.0
+        if info.config_index >= 0:
+            if info.config_index >= self.num_configs:
+                raise SchedulingError(
+                    f"config index {info.config_index} out of range (num_configs={self.num_configs})"
+                )
+            vector[3 + info.config_index] = 1.0
+        vector[3 + self.num_configs] = np.tanh(info.elapsed / self.time_scale)
+        vector[3 + self.num_configs + 1] = np.tanh(info.expected_time / self.time_scale)
+        return vector
+
+    def featurize_snapshot(self, snapshot: SchedulingSnapshot) -> np.ndarray:
+        """Return the ``(n, feature_dim)`` matrix of running-state features."""
+        return np.stack([self.featurize(info) for info in snapshot.infos], axis=0)

@@ -1,0 +1,138 @@
+"""Attention-based state representation (Section III-A of the paper).
+
+Per-query tokens ``x_i`` are built from the (frozen) QueryFormer plan
+embedding concatenated with the running-state features and passed through an
+MLP.  A learnable *super query* token joins the sequence, a stack of
+multi-head attention layers models the mutual influences among concurrent
+queries, and the outputs are combined with pooled running-state features to
+produce the final per-query representations ``x''_i`` (for the policy and
+auxiliary heads) and the global representation ``x''_s`` (for the value
+head).
+
+The paper concatenates the raw running-state features of *all* queries into
+``x''_s`` and of the *concurrent* queries into ``x''_i``.  Because the batch
+size ``n`` varies across workloads, this implementation uses mean + max
+pooling of those features instead of raw concatenation, which keeps the
+network width independent of ``n`` while preserving the same information
+channel (this is also what makes the learned policy transferable across
+query-set sizes, a property the paper relies on for its adaptability
+experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import EncoderConfig
+from ..nn import AttentionEncoder, Linear, MLP, Module, Parameter, Tensor, concatenate
+from ..nn import init as weight_init
+from .run_state import RunStateFeaturizer, SchedulingSnapshot
+
+__all__ = ["StateRepresentation", "StateEncoder"]
+
+
+@dataclass
+class StateRepresentation:
+    """Output of the state encoder at one decision instant.
+
+    Attributes
+    ----------
+    per_query:
+        ``(n, state_dim)`` tensor of final per-query representations ``x''_i``.
+    global_state:
+        ``(state_dim,)`` tensor ``x''_s`` summarising the whole batch.
+    """
+
+    per_query: Tensor
+    global_state: Tensor
+
+    @property
+    def num_queries(self) -> int:
+        return self.per_query.shape[0]
+
+
+class StateEncoder(Module):
+    """Shared state-representation network θ_S."""
+
+    def __init__(
+        self,
+        plan_embedding_dim: int,
+        run_state_featurizer: RunStateFeaturizer,
+        config: EncoderConfig,
+        rng: np.random.Generator,
+        use_attention: bool = True,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.run_state_featurizer = run_state_featurizer
+        self.use_attention = use_attention
+        state_dim = config.state_dim
+        input_dim = plan_embedding_dim + run_state_featurizer.feature_dim
+
+        per_query_sizes = [input_dim] + [state_dim] * config.mlp_layers
+        self.query_mlp = MLP(per_query_sizes, rng, activation="tanh", final_activation=True)
+        self.super_query = Parameter(weight_init.normal((1, state_dim), rng, std=0.1), name="super_query")
+        if use_attention:
+            self.attention = AttentionEncoder(
+                model_dim=state_dim,
+                num_heads=config.state_heads,
+                num_layers=config.state_layers,
+                rng=rng,
+                norm=config.norm,
+            )
+        pooled_dim = 2 * run_state_featurizer.feature_dim
+        self.global_mlp = MLP([state_dim + pooled_dim, state_dim, state_dim], rng, activation="tanh", final_activation=True)
+        self.query_out_mlp = MLP(
+            [2 * state_dim + pooled_dim, state_dim, state_dim], rng, activation="tanh", final_activation=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, plan_embeddings: np.ndarray, snapshot: SchedulingSnapshot) -> StateRepresentation:
+        """Encode one scheduling state.
+
+        Parameters
+        ----------
+        plan_embeddings:
+            ``(n, plan_embedding_dim)`` frozen QueryFormer embeddings aligned
+            with the snapshot's query ids.
+        snapshot:
+            The observable runtime state of every query.
+        """
+        run_features = self.run_state_featurizer.featurize_snapshot(snapshot)
+        if plan_embeddings.shape[0] != run_features.shape[0]:
+            raise ValueError("plan embeddings and snapshot must cover the same queries")
+
+        tokens = self.query_mlp(Tensor(np.concatenate([plan_embeddings, run_features], axis=1)))
+        sequence = concatenate([tokens, self.super_query], axis=0)
+        # The ablation variant (Figure 7, "w/o attention-based state
+        # representation") skips the mutual-influence modelling entirely.
+        encoded = self.attention(sequence) if self.use_attention else sequence
+        num_queries = run_features.shape[0]
+        encoded_queries = encoded[np.arange(num_queries)]
+        encoded_super = encoded[num_queries]
+
+        pooled_all = self._pool(run_features)
+        global_state = self.global_mlp(concatenate([encoded_super, Tensor(pooled_all)], axis=0))
+
+        running_ids = snapshot.running_ids
+        if running_ids:
+            pooled_running = self._pool(run_features[running_ids])
+        else:
+            pooled_running = np.zeros_like(pooled_all)
+        broadcast_super = encoded_super.reshape(1, -1) * Tensor(np.ones((num_queries, 1)))
+        broadcast_pool = Tensor(np.tile(pooled_running, (num_queries, 1)))
+        per_query = self.query_out_mlp(
+            concatenate([encoded_queries, broadcast_super, broadcast_pool], axis=1)
+        )
+        return StateRepresentation(per_query=per_query, global_state=global_state)
+
+    @staticmethod
+    def _pool(features: np.ndarray) -> np.ndarray:
+        """Fixed-width summary (mean ‖ max) of a variable-size feature set."""
+        if features.size == 0:
+            raise ValueError("cannot pool an empty feature set")
+        return np.concatenate([features.mean(axis=0), features.max(axis=0)])

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the BQSched reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BQSchedError",
+    "ConfigurationError",
+    "WorkloadError",
+    "SimulationError",
+    "SchedulingError",
+]
+
+
+class BQSchedError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(BQSchedError):
+    """An invalid configuration value was supplied."""
+
+
+class WorkloadError(BQSchedError):
+    """A workload or batch query set could not be built or is inconsistent."""
+
+
+class SimulationError(BQSchedError):
+    """The DBMS substrate or learned simulator reached an invalid state."""
+
+
+class SchedulingError(BQSchedError):
+    """A scheduler produced or was asked to execute an invalid plan."""

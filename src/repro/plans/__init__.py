@@ -1,0 +1,34 @@
+"""Physical plan substrate: operators, plan trees, synthetic plan builder, features."""
+
+from .operators import (
+    JOIN_OPERATORS,
+    NUM_OPERATORS,
+    OPERATOR_PROFILES,
+    Operator,
+    OperatorProfile,
+    SCAN_OPERATORS,
+)
+from .plan import PhysicalPlan, PlanNode, Predicate
+from .statistics import Catalog, ColumnStats, HISTOGRAM_BINS, TableStats
+from .builder import PlanBuilder, TemplateSpec
+from .features import PlanFeatures, PlanFeaturizer
+
+__all__ = [
+    "Operator",
+    "OperatorProfile",
+    "OPERATOR_PROFILES",
+    "NUM_OPERATORS",
+    "SCAN_OPERATORS",
+    "JOIN_OPERATORS",
+    "PhysicalPlan",
+    "PlanNode",
+    "Predicate",
+    "Catalog",
+    "ColumnStats",
+    "TableStats",
+    "HISTOGRAM_BINS",
+    "PlanBuilder",
+    "TemplateSpec",
+    "PlanFeatures",
+    "PlanFeaturizer",
+]

@@ -1,0 +1,175 @@
+"""Synthetic physical-plan builder.
+
+Real TPC-DS / TPC-H / JOB plans are produced by a DBMS optimiser from SQL
+text.  This builder plays that role for the synthetic workloads: given a
+*template specification* (which tables the query touches, how many joins,
+whether it aggregates/sorts/windows, and its predicate selectivities) it
+constructs a deterministic plan tree whose shape and cardinalities follow the
+usual left-deep join pipelines that optimisers emit for star-schema queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .operators import Operator
+from .plan import PhysicalPlan, PlanNode, Predicate
+from .statistics import Catalog
+
+__all__ = ["TemplateSpec", "PlanBuilder"]
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Declarative description of a query template.
+
+    Attributes
+    ----------
+    template_id:
+        Template number within its benchmark (e.g. TPC-DS query 14).
+    tables:
+        Tables scanned by the query, fact table(s) first.
+    join_count:
+        Number of binary joins; must be ``len(tables) - 1`` or smaller
+        (remaining tables become correlated/CTE scans).
+    selectivities:
+        Scan selectivity per table, aligned with ``tables``.
+    has_aggregate / has_sort / has_window / has_union:
+        Shape flags controlling which pipeline operators are appended above
+        the join tree.
+    cpu_intensity:
+        0 → purely I/O bound, 1 → purely CPU bound; skews operator choice.
+    complexity:
+        Relative size multiplier of the query (heavy TPC-DS templates such as
+        query 14 or 23 get values well above 1).
+    """
+
+    template_id: int
+    tables: tuple[str, ...]
+    selectivities: tuple[float, ...]
+    join_count: int
+    has_aggregate: bool = True
+    has_sort: bool = False
+    has_window: bool = False
+    has_union: bool = False
+    cpu_intensity: float = 0.5
+    complexity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise WorkloadError("template needs at least one table")
+        if len(self.selectivities) != len(self.tables):
+            raise WorkloadError("selectivities must align with tables")
+        if self.join_count > len(self.tables) - 1:
+            raise WorkloadError("join_count cannot exceed len(tables) - 1")
+        if not 0.0 <= self.cpu_intensity <= 1.0:
+            raise WorkloadError("cpu_intensity must be in [0, 1]")
+        if self.complexity <= 0:
+            raise WorkloadError("complexity must be positive")
+
+
+class PlanBuilder:
+    """Builds :class:`PhysicalPlan` trees from :class:`TemplateSpec` objects."""
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self._seed = seed
+
+    def build(self, spec: TemplateSpec) -> PhysicalPlan:
+        """Construct the plan for ``spec`` deterministically."""
+        rng = np.random.default_rng((self._seed, spec.template_id))
+        scans = [self._build_scan(spec, index, rng) for index in range(len(spec.tables))]
+
+        # Left-deep join pipeline over the first join_count + 1 scans.
+        current = scans[0]
+        current_rows = scans[0].estimated_rows
+        for join_index in range(spec.join_count):
+            right = scans[join_index + 1]
+            join_op = self._choose_join(spec, rng)
+            # Output cardinality shrinks towards the dimension side, as in a
+            # typical star-schema foreign-key join.
+            out_rows = max(1.0, current_rows * min(1.0, 1.2 * right.estimated_rows / max(right.estimated_rows, 1.0)) * float(rng.uniform(0.3, 0.9)))
+            current = PlanNode(operator=join_op, children=[current, right], estimated_rows=out_rows)
+            current_rows = out_rows
+
+        # Remaining scans (if any) attach through CTE/materialise nodes,
+        # mimicking WITH-clause reuse in the heavier TPC-DS templates.
+        for scan in scans[spec.join_count + 1 :]:
+            cte = PlanNode(operator=Operator.MATERIALIZE, children=[scan], estimated_rows=scan.estimated_rows)
+            out_rows = max(1.0, current_rows * float(rng.uniform(0.5, 1.0)))
+            current = PlanNode(operator=Operator.HASH_JOIN, children=[current, cte], estimated_rows=out_rows)
+            current_rows = out_rows
+
+        current = self._add_pipeline(spec, current, current_rows, rng)
+        return PhysicalPlan(current)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _build_scan(self, spec: TemplateSpec, index: int, rng: np.random.Generator) -> PlanNode:
+        table_name = spec.tables[index]
+        stats = self.catalog.table(table_name)
+        selectivity = spec.selectivities[index]
+        uses_index = selectivity < 0.05 and rng.random() < 0.7
+        operator = Operator.INDEX_SCAN if uses_index else Operator.SEQ_SCAN
+        scanned_rows = max(1.0, stats.row_count * spec.complexity * (selectivity if uses_index else 1.0))
+        output_rows = max(1.0, stats.row_count * spec.complexity * selectivity)
+        predicate = Predicate(
+            column=int(rng.integers(0, len(stats.columns))),
+            selectivity=selectivity,
+            uses_index=uses_index,
+        )
+        scan = PlanNode(
+            operator=operator,
+            table=table_name,
+            predicates=(predicate,),
+            estimated_rows=scanned_rows,
+        )
+        if selectivity < 1.0 and not uses_index:
+            return PlanNode(operator=Operator.FILTER, children=[scan], predicates=(predicate,), estimated_rows=output_rows)
+        return scan
+
+    def _choose_join(self, spec: TemplateSpec, rng: np.random.Generator) -> Operator:
+        # CPU-intensive templates favour hash joins and the occasional
+        # nested-loop; I/O-intensive ones favour merge joins over sorted scans.
+        roll = rng.random()
+        if roll < 0.15 + 0.25 * spec.cpu_intensity:
+            return Operator.NESTED_LOOP if roll < 0.05 * spec.cpu_intensity else Operator.HASH_JOIN
+        if roll < 0.75:
+            return Operator.HASH_JOIN
+        return Operator.MERGE_JOIN
+
+    def _add_pipeline(
+        self,
+        spec: TemplateSpec,
+        current: PlanNode,
+        current_rows: float,
+        rng: np.random.Generator,
+    ) -> PlanNode:
+        """Append aggregation / window / sort / union operators above the joins."""
+        if spec.has_union:
+            mirror = PlanNode(
+                operator=Operator.CTE_SCAN,
+                table=spec.tables[0],
+                estimated_rows=max(1.0, current_rows * float(rng.uniform(0.4, 0.8))),
+            )
+            current = PlanNode(
+                operator=Operator.UNION,
+                children=[current, mirror],
+                estimated_rows=current_rows + mirror.estimated_rows,
+            )
+            current_rows = current.estimated_rows
+        if spec.has_window:
+            current = PlanNode(operator=Operator.WINDOW, children=[current], estimated_rows=current_rows)
+        if spec.has_aggregate:
+            agg_op = Operator.HASH_AGGREGATE if spec.cpu_intensity > 0.4 else Operator.AGGREGATE
+            grouped_rows = max(1.0, current_rows * float(rng.uniform(0.001, 0.05)))
+            current = PlanNode(operator=agg_op, children=[current], estimated_rows=grouped_rows)
+            current_rows = grouped_rows
+        if spec.has_sort:
+            current = PlanNode(operator=Operator.SORT, children=[current], estimated_rows=current_rows)
+        current = PlanNode(operator=Operator.LIMIT, children=[current], estimated_rows=min(100.0, current_rows))
+        return current

@@ -1,0 +1,108 @@
+"""Plan-node featurisation consumed by the QueryFormer encoder.
+
+For every node the featuriser produces a fixed-width vector containing the
+operator one-hot, a table one-hot (over the workload's catalogue), predicate
+histogram features, log-scaled cardinality, and operator resource weights.
+For the whole plan it additionally produces the structural metadata used by
+tree-bias attention: per-node heights and the pairwise tree-distance matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .operators import NUM_OPERATORS, OPERATOR_PROFILES, Operator
+from .plan import PhysicalPlan, PlanNode
+from .statistics import Catalog, HISTOGRAM_BINS
+
+__all__ = ["PlanFeatures", "PlanFeaturizer"]
+
+
+@dataclass(frozen=True)
+class PlanFeatures:
+    """Featurised plan: per-node matrix + structural metadata.
+
+    Attributes
+    ----------
+    node_features:
+        ``(num_nodes, feature_dim)`` array.
+    heights:
+        ``(num_nodes,)`` integer depths used for the height encoding.
+    distances:
+        ``(num_nodes, num_nodes)`` tree distances used for tree-bias attention.
+    """
+
+    node_features: np.ndarray
+    heights: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.node_features.shape[1]
+
+
+class PlanFeaturizer:
+    """Turns :class:`PhysicalPlan` trees into :class:`PlanFeatures`."""
+
+    #: number of scalar features appended after the one-hot blocks
+    _NUM_SCALARS = 6
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._table_names = catalog.table_names()
+        self._num_tables = len(self._table_names)
+
+    @property
+    def feature_dim(self) -> int:
+        """Width of each node feature vector."""
+        return NUM_OPERATORS + self._num_tables + HISTOGRAM_BINS + self._NUM_SCALARS
+
+    def featurize(self, plan: PhysicalPlan) -> PlanFeatures:
+        """Featurise every node of ``plan``."""
+        features = np.zeros((plan.num_nodes, self.feature_dim), dtype=np.float64)
+        heights = np.zeros(plan.num_nodes, dtype=np.int64)
+        for node in plan.nodes():
+            features[node.node_id] = self._node_vector(node)
+            heights[node.node_id] = plan.depth_of(node.node_id)
+        return PlanFeatures(node_features=features, heights=heights, distances=plan.tree_distances())
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _node_vector(self, node: PlanNode) -> np.ndarray:
+        vector = np.zeros(self.feature_dim, dtype=np.float64)
+        # Operator one-hot.
+        vector[node.operator.index] = 1.0
+        offset = NUM_OPERATORS
+        # Table one-hot (scans only).
+        if node.table is not None and node.table in self.catalog:
+            vector[offset + self.catalog.table_index(node.table)] = 1.0
+        offset += self._num_tables
+        # Predicate histogram features (sum over predicates, like QueryFormer's
+        # per-predicate encoding pooled at the node level).
+        if node.predicates and node.table is not None and node.table in self.catalog:
+            stats = self.catalog.table(node.table)
+            pooled = np.zeros(HISTOGRAM_BINS)
+            for predicate in node.predicates:
+                pooled += stats.column(predicate.column).selectivity_features(predicate.selectivity)
+            vector[offset : offset + HISTOGRAM_BINS] = pooled / len(node.predicates)
+        offset += HISTOGRAM_BINS
+        # Scalar features: log cardinality, resource weights, predicate stats.
+        profile = OPERATOR_PROFILES[node.operator]
+        selectivity = float(np.mean([p.selectivity for p in node.predicates])) if node.predicates else 1.0
+        uses_index = float(any(p.uses_index for p in node.predicates))
+        vector[offset : offset + self._NUM_SCALARS] = [
+            np.log1p(node.estimated_rows) / 20.0,
+            profile.cpu_per_row,
+            profile.io_per_row,
+            profile.memory_per_row,
+            selectivity,
+            uses_index,
+        ]
+        return vector

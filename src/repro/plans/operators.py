@@ -1,0 +1,98 @@
+"""Physical-plan operator catalogue.
+
+Each operator carries a coarse resource signature (relative CPU vs. I/O
+weight per processed row) that the DBMS substrate uses to turn a plan tree
+into CPU work and I/O work.  The signatures follow the usual intuition:
+scans are I/O heavy, sorts/aggregations and hash builds are CPU heavy,
+nested-loop joins are CPU heavy with poor scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Operator", "OperatorProfile", "OPERATOR_PROFILES", "NUM_OPERATORS"]
+
+
+class Operator(str, Enum):
+    """Physical operators recognised by the plan builder and featuriser."""
+
+    SEQ_SCAN = "seq_scan"
+    INDEX_SCAN = "index_scan"
+    BITMAP_SCAN = "bitmap_scan"
+    FILTER = "filter"
+    PROJECT = "project"
+    HASH_JOIN = "hash_join"
+    MERGE_JOIN = "merge_join"
+    NESTED_LOOP = "nested_loop"
+    SORT = "sort"
+    AGGREGATE = "aggregate"
+    HASH_AGGREGATE = "hash_aggregate"
+    GROUP_BY = "group_by"
+    WINDOW = "window"
+    LIMIT = "limit"
+    MATERIALIZE = "materialize"
+    UNION = "union"
+    CTE_SCAN = "cte_scan"
+    GATHER = "gather"
+
+    @property
+    def index(self) -> int:
+        """Stable integer id used for one-hot featurisation."""
+        return _OPERATOR_ORDER[self]
+
+
+_OPERATOR_ORDER = {op: i for i, op in enumerate(Operator)}
+NUM_OPERATORS = len(_OPERATOR_ORDER)
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Resource signature of an operator.
+
+    Attributes
+    ----------
+    cpu_per_row:
+        Relative CPU work contributed per input row.
+    io_per_row:
+        Relative I/O work contributed per input row (only scans and
+        materialisation touch storage).
+    memory_per_row:
+        Relative working-memory demand per row; operators with large values
+        benefit from the ``memory`` running parameter.
+    parallel_fraction:
+        Fraction of the operator's work that can be spread across parallel
+        workers (Amdahl-style).
+    """
+
+    cpu_per_row: float
+    io_per_row: float
+    memory_per_row: float
+    parallel_fraction: float
+
+
+OPERATOR_PROFILES: dict[Operator, OperatorProfile] = {
+    Operator.SEQ_SCAN: OperatorProfile(0.2, 1.0, 0.0, 0.9),
+    Operator.INDEX_SCAN: OperatorProfile(0.3, 0.45, 0.0, 0.5),
+    Operator.BITMAP_SCAN: OperatorProfile(0.35, 0.6, 0.05, 0.6),
+    Operator.FILTER: OperatorProfile(0.3, 0.0, 0.0, 0.9),
+    Operator.PROJECT: OperatorProfile(0.15, 0.0, 0.0, 0.9),
+    Operator.HASH_JOIN: OperatorProfile(0.9, 0.05, 0.6, 0.8),
+    Operator.MERGE_JOIN: OperatorProfile(0.7, 0.05, 0.3, 0.6),
+    Operator.NESTED_LOOP: OperatorProfile(1.4, 0.05, 0.1, 0.3),
+    Operator.SORT: OperatorProfile(1.0, 0.1, 0.8, 0.7),
+    Operator.AGGREGATE: OperatorProfile(0.8, 0.0, 0.3, 0.8),
+    Operator.HASH_AGGREGATE: OperatorProfile(0.9, 0.0, 0.6, 0.8),
+    Operator.GROUP_BY: OperatorProfile(0.85, 0.0, 0.4, 0.8),
+    Operator.WINDOW: OperatorProfile(1.1, 0.0, 0.5, 0.5),
+    Operator.LIMIT: OperatorProfile(0.05, 0.0, 0.0, 0.2),
+    Operator.MATERIALIZE: OperatorProfile(0.2, 0.5, 0.7, 0.4),
+    Operator.UNION: OperatorProfile(0.3, 0.0, 0.2, 0.7),
+    Operator.CTE_SCAN: OperatorProfile(0.25, 0.3, 0.3, 0.5),
+    Operator.GATHER: OperatorProfile(0.1, 0.0, 0.0, 0.0),
+}
+
+SCAN_OPERATORS = frozenset({Operator.SEQ_SCAN, Operator.INDEX_SCAN, Operator.BITMAP_SCAN, Operator.CTE_SCAN})
+JOIN_OPERATORS = frozenset({Operator.HASH_JOIN, Operator.MERGE_JOIN, Operator.NESTED_LOOP})
+__all__ += ["SCAN_OPERATORS", "JOIN_OPERATORS"]

@@ -1,0 +1,104 @@
+"""Synthetic TPC-H workload: 8 tables, 22 query templates.
+
+TPC-H is a smaller, more uniform star schema than TPC-DS; its 22 templates
+join ``lineitem``/``orders`` with a few dimensions and are mostly scan- and
+aggregation-heavy.  Template 1, 9, 18 and 21 dominate the runtime, which the
+synthetic complexity multipliers reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..plans import Catalog, TemplateSpec
+
+__all__ = ["TPCH_TABLES", "TPCH_FACT_TABLES", "build_tpch_catalog", "build_tpch_specs"]
+
+TPCH_TABLES: dict[str, float] = {
+    "lineitem": 6.0e6,
+    "orders": 1.5e6,
+    "partsupp": 8.0e5,
+    "part": 2.0e5,
+    "customer": 1.5e5,
+    "supplier": 1.0e4,
+    "nation": 25,
+    "region": 5,
+}
+
+TPCH_FACT_TABLES: set[str] = {"lineitem", "orders", "partsupp"}
+
+#: Complexity multipliers for the notoriously heavy TPC-H templates.
+_TPCH_HEAVY: dict[int, float] = {1: 2.0, 9: 2.5, 13: 1.6, 18: 2.2, 21: 2.4}
+
+#: The tables each of the 22 templates touches (faithful to the spec's joins).
+_TPCH_TEMPLATE_TABLES: dict[int, tuple[str, ...]] = {
+    1: ("lineitem",),
+    2: ("partsupp", "part", "supplier", "nation", "region"),
+    3: ("lineitem", "orders", "customer"),
+    4: ("lineitem", "orders"),
+    5: ("lineitem", "orders", "customer", "supplier", "nation", "region"),
+    6: ("lineitem",),
+    7: ("lineitem", "orders", "customer", "supplier", "nation"),
+    8: ("lineitem", "orders", "customer", "part", "supplier", "nation", "region"),
+    9: ("lineitem", "orders", "partsupp", "part", "supplier", "nation"),
+    10: ("lineitem", "orders", "customer", "nation"),
+    11: ("partsupp", "supplier", "nation"),
+    12: ("lineitem", "orders"),
+    13: ("orders", "customer"),
+    14: ("lineitem", "part"),
+    15: ("lineitem", "supplier"),
+    16: ("partsupp", "part", "supplier"),
+    17: ("lineitem", "part"),
+    18: ("lineitem", "orders", "customer"),
+    19: ("lineitem", "part"),
+    20: ("lineitem", "partsupp", "part", "supplier", "nation"),
+    21: ("lineitem", "orders", "supplier", "nation"),
+    22: ("orders", "customer"),
+}
+
+#: Rough CPU-vs-I/O intensity per template (aggregation heavy => CPU bound).
+_TPCH_CPU_INTENSITY: dict[int, float] = {
+    1: 0.75, 2: 0.45, 3: 0.5, 4: 0.35, 5: 0.55, 6: 0.2, 7: 0.55, 8: 0.6,
+    9: 0.7, 10: 0.5, 11: 0.5, 12: 0.3, 13: 0.65, 14: 0.35, 15: 0.45,
+    16: 0.55, 17: 0.6, 18: 0.7, 19: 0.4, 20: 0.5, 21: 0.65, 22: 0.45,
+}
+
+
+def build_tpch_catalog(seed: int = 0) -> Catalog:
+    """Build the TPC-H catalogue."""
+    return Catalog.generate(
+        table_names=list(TPCH_TABLES),
+        fact_tables=TPCH_FACT_TABLES,
+        base_rows=TPCH_TABLES,
+        seed=seed + 17,
+    )
+
+
+def build_tpch_specs(seed: int = 0) -> list[TemplateSpec]:
+    """Generate the 22 TPC-H template specifications."""
+    rng = np.random.default_rng((seed, 2203))
+    specs: list[TemplateSpec] = []
+    for template_id in range(1, 23):
+        tables = _TPCH_TEMPLATE_TABLES[template_id]
+        selectivities = []
+        for table in tables:
+            if table in TPCH_FACT_TABLES:
+                selectivities.append(float(rng.uniform(0.1, 0.7)))
+            else:
+                selectivities.append(float(rng.uniform(0.01, 0.4)))
+        complexity = _TPCH_HEAVY.get(template_id, float(rng.uniform(0.35, 1.0)))
+        specs.append(
+            TemplateSpec(
+                template_id=template_id,
+                tables=tables,
+                selectivities=tuple(selectivities),
+                join_count=len(tables) - 1,
+                has_aggregate=template_id not in (12, 22) or True,
+                has_sort=template_id in (1, 2, 3, 5, 9, 10, 13, 16, 18, 21),
+                has_window=False,
+                has_union=False,
+                cpu_intensity=_TPCH_CPU_INTENSITY[template_id],
+                complexity=complexity,
+            )
+        )
+    return specs

@@ -1,0 +1,95 @@
+"""Tests for the benchmark harness, reporting helpers and paper-value tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchProfile,
+    ComparisonRow,
+    HEURISTICS,
+    Scenario,
+    evaluate_heuristics,
+    format_table,
+    get_profile,
+    paper_values,
+    render_gantt,
+)
+from repro.core import FIFOScheduler
+
+
+class TestProfiles:
+    def test_quick_and_full_profiles(self):
+        quick, full = BenchProfile.quick(), BenchProfile.full()
+        assert quick.train_updates < full.train_updates
+        assert quick.evaluation_rounds <= full.evaluation_rounds
+
+    def test_get_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        assert get_profile().name == "full"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "quick")
+        assert get_profile().name == "quick"
+
+
+class TestScenario:
+    def test_build_scenario(self):
+        scenario = Scenario(benchmark="tpch", dbms="x", profile=BenchProfile.quick())
+        workload, engine, config = scenario.build()
+        assert workload.num_queries == 22
+        assert engine.profile.name == "DBMS-X"
+        assert config.scheduler.num_connections == BenchProfile.quick().num_connections
+        assert "tpch" in scenario.label
+
+    def test_evaluate_heuristics_returns_all(self):
+        scenario = Scenario(benchmark="tpch", dbms="x", profile=BenchProfile.quick())
+        workload, engine, config = scenario.build()
+        results = evaluate_heuristics(workload, engine, config, rounds=2)
+        assert set(results) == set(HEURISTICS)
+        for evaluation in results.values():
+            assert evaluation.mean > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "strategy"], [["1.0", "FIFO"], ["2.0", "BQSched"]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "strategy" in lines[1]
+        assert len(lines) == 5
+
+    def test_comparison_row_ratio(self):
+        row = ComparisonRow(label="FIFO", measured=10.0, paper=20.0)
+        assert row.ratio == pytest.approx(0.5)
+        assert ComparisonRow(label="x", measured=1.0).ratio is None
+
+    def test_render_gantt(self, tpch_env):
+        result = FIFOScheduler().run_round(tpch_env, round_id=0)
+        art = render_gantt(result.connection_timeline(), width=40)
+        assert "c00" in art
+        assert render_gantt({}) == "(empty schedule)"
+
+
+class TestPaperValues:
+    def test_table1_structure(self):
+        for dbms, benchmarks in paper_values.TABLE1_MAKESPAN.items():
+            assert set(benchmarks) == {"tpcds", "tpch", "job"}
+            for values in benchmarks.values():
+                assert set(values) == {"Random", "FIFO", "MCF", "LSched", "BQSched"}
+                assert values["BQSched"] == min(values.values())
+
+    def test_table1_std_structure_matches(self):
+        assert set(paper_values.TABLE1_STD) == set(paper_values.TABLE1_MAKESPAN)
+
+    def test_table2_bqsched_always_best(self):
+        for dimension in paper_values.TABLE2_MAKESPAN.values():
+            for values in dimension.values():
+                assert values["BQSched"] == min(values.values())
+
+    def test_table3_gamma_sweep_best_at_0_1(self):
+        table = paper_values.TABLE3_SIMULATOR
+        assert table["gamma=0.1"]["mse"] == min(entry["mse"] for entry in table.values())
+
+    def test_fig7_masking_is_largest_ablation_hit(self):
+        ablation = paper_values.FIG7_ABLATION_RELATIVE
+        assert ablation["w/o adaptive masking"] == max(ablation.values())

@@ -1,0 +1,161 @@
+"""Tests for the QueryFormer plan encoder and the attention-based state encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EncoderConfig
+from repro.encoder import (
+    PlanEmbeddingCache,
+    QueryFormer,
+    QueryRuntimeInfo,
+    QueryStatus,
+    RunStateFeaturizer,
+    SchedulingSnapshot,
+    StateEncoder,
+)
+from repro.exceptions import SchedulingError
+from repro.plans import PlanFeaturizer
+
+
+@pytest.fixture(scope="module")
+def encoder_config() -> EncoderConfig:
+    return EncoderConfig(
+        plan_embedding_dim=16, node_hidden_dim=16, tree_heads=2, tree_layers=1,
+        state_dim=24, state_heads=2, state_layers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def queryformer(tpch_workload, encoder_config):
+    featurizer = PlanFeaturizer(tpch_workload.catalog)
+    return QueryFormer(featurizer, encoder_config, np.random.default_rng(0))
+
+
+class TestRunStateFeatures:
+    def test_feature_dim(self):
+        featurizer = RunStateFeaturizer(num_configs=4)
+        assert featurizer.feature_dim == 3 + 4 + 2
+
+    def test_status_one_hot(self):
+        featurizer = RunStateFeaturizer(num_configs=2)
+        pending = featurizer.featurize(QueryRuntimeInfo(0, QueryStatus.PENDING))
+        running = featurizer.featurize(QueryRuntimeInfo(0, QueryStatus.RUNNING, config_index=1, elapsed=2.0))
+        assert pending[0] == 1.0 and running[1] == 1.0
+        assert running[3 + 1] == 1.0  # configuration one-hot
+
+    def test_pending_has_no_config(self):
+        featurizer = RunStateFeaturizer(num_configs=2)
+        vector = featurizer.featurize(QueryRuntimeInfo(0, QueryStatus.PENDING))
+        assert vector[3:5].sum() == 0.0
+
+    def test_elapsed_normalised_bounded(self):
+        featurizer = RunStateFeaturizer(num_configs=2)
+        vector = featurizer.featurize(
+            QueryRuntimeInfo(0, QueryStatus.RUNNING, config_index=0, elapsed=1e6, expected_time=1e6)
+        )
+        assert np.all(np.abs(vector) <= 1.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SchedulingError):
+            QueryRuntimeInfo(0, QueryStatus.RUNNING, config_index=-1)
+        with pytest.raises(SchedulingError):
+            QueryRuntimeInfo(0, QueryStatus.PENDING, elapsed=-1.0)
+        with pytest.raises(SchedulingError):
+            RunStateFeaturizer(num_configs=0)
+        featurizer = RunStateFeaturizer(num_configs=2)
+        with pytest.raises(SchedulingError):
+            featurizer.featurize(QueryRuntimeInfo(0, QueryStatus.RUNNING, config_index=5))
+
+    def test_snapshot_helpers(self):
+        infos = (
+            QueryRuntimeInfo(0, QueryStatus.PENDING),
+            QueryRuntimeInfo(1, QueryStatus.RUNNING, config_index=0, elapsed=1.0),
+            QueryRuntimeInfo(2, QueryStatus.FINISHED, config_index=0),
+        )
+        snapshot = SchedulingSnapshot(time=3.0, infos=infos)
+        assert snapshot.pending_ids == [0]
+        assert snapshot.running_ids == [1]
+        assert snapshot.finished_ids == [2]
+        assert snapshot.num_queries == 3
+
+
+class TestQueryFormer:
+    def test_embedding_shape(self, queryformer, tpch_batch, encoder_config):
+        embedding = queryformer(tpch_batch[0].plan)
+        assert embedding.shape == (encoder_config.plan_embedding_dim,)
+
+    def test_embedding_deterministic(self, queryformer, tpch_batch):
+        a = queryformer(tpch_batch[3].plan).data
+        b = queryformer(tpch_batch[3].plan).data
+        np.testing.assert_allclose(a, b)
+
+    def test_different_plans_embed_differently(self, queryformer, tpch_batch):
+        a = queryformer(tpch_batch[0].plan).data
+        b = queryformer(tpch_batch[8].plan).data
+        assert not np.allclose(a, b)
+
+    def test_cache_memoises(self, queryformer, tpch_batch):
+        cache = PlanEmbeddingCache(queryformer)
+        matrix = cache.embeddings_for(tpch_batch)
+        assert matrix.shape == (len(tpch_batch), queryformer.config.plan_embedding_dim)
+        assert len(cache) == len(tpch_batch)
+        again = cache.embeddings_for(tpch_batch)
+        np.testing.assert_allclose(matrix, again)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStateEncoder:
+    def _snapshot(self, n: int) -> SchedulingSnapshot:
+        infos = []
+        for i in range(n):
+            if i % 3 == 0:
+                infos.append(QueryRuntimeInfo(i, QueryStatus.PENDING, expected_time=1.0))
+            elif i % 3 == 1:
+                infos.append(QueryRuntimeInfo(i, QueryStatus.RUNNING, config_index=0, elapsed=0.5, expected_time=1.0))
+            else:
+                infos.append(QueryRuntimeInfo(i, QueryStatus.FINISHED, config_index=0, expected_time=1.0))
+        return SchedulingSnapshot(time=1.0, infos=tuple(infos))
+
+    def _build(self, encoder_config, use_attention=True):
+        featurizer = RunStateFeaturizer(num_configs=4)
+        return StateEncoder(
+            plan_embedding_dim=16,
+            run_state_featurizer=featurizer,
+            config=encoder_config,
+            rng=np.random.default_rng(0),
+            use_attention=use_attention,
+        )
+
+    def test_output_shapes(self, encoder_config):
+        encoder = self._build(encoder_config)
+        n = 7
+        representation = encoder(np.random.default_rng(0).normal(size=(n, 16)), self._snapshot(n))
+        assert representation.per_query.shape == (n, encoder_config.state_dim)
+        assert representation.global_state.shape == (encoder_config.state_dim,)
+
+    def test_handles_variable_batch_sizes(self, encoder_config):
+        encoder = self._build(encoder_config)
+        for n in (2, 5, 11):
+            representation = encoder(np.zeros((n, 16)), self._snapshot(n))
+            assert representation.num_queries == n
+
+    def test_mismatched_inputs_rejected(self, encoder_config):
+        encoder = self._build(encoder_config)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((3, 16)), self._snapshot(4))
+
+    def test_attention_variant_differs_from_flat(self, encoder_config):
+        snapshot = self._snapshot(6)
+        plan_embeddings = np.random.default_rng(1).normal(size=(6, 16))
+        with_attention = self._build(encoder_config, use_attention=True)(plan_embeddings, snapshot)
+        without_attention = self._build(encoder_config, use_attention=False)(plan_embeddings, snapshot)
+        assert not np.allclose(with_attention.per_query.data, without_attention.per_query.data)
+
+    def test_gradients_reach_super_query(self, encoder_config):
+        encoder = self._build(encoder_config)
+        representation = encoder(np.zeros((4, 16)), self._snapshot(4))
+        representation.global_state.sum().backward()
+        assert encoder.super_query.grad is not None

@@ -1,0 +1,189 @@
+"""Tests for scheduling gain, query clustering and the learned simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulatorConfig
+from repro.core import (
+    AdaptiveMask,
+    FIFOScheduler,
+    GainModel,
+    LearnedSimulator,
+    SchedulingEnv,
+    build_gain_matrix,
+    cluster_queries,
+    compute_scheduling_gains,
+)
+from repro.core.simulator import SimulatedSession
+from repro.dbms import RunningParameters
+from repro.exceptions import SchedulingError, SimulationError
+
+
+@pytest.fixture(scope="module")
+def history_log(tpch_batch, engine_x, config_space):
+    orders = []
+    base = [q.query_id for q in tpch_batch]
+    for seed in range(3):
+        order = list(base)
+        np.random.default_rng(seed).shuffle(order)
+        orders.append(order)
+    return engine_x.collect_logs(tpch_batch, orders, config_space.default, num_connections=6)
+
+
+@pytest.fixture(scope="module")
+def plan_embeddings(tpch_workload, tpch_batch, small_config):
+    from repro.encoder import PlanEmbeddingCache, QueryFormer
+    from repro.plans import PlanFeaturizer
+
+    queryformer = QueryFormer(PlanFeaturizer(tpch_workload.catalog), small_config.encoder, np.random.default_rng(0))
+    return PlanEmbeddingCache(queryformer).embeddings_for(tpch_batch)
+
+
+class TestSchedulingGain:
+    def test_gain_matrix_symmetric(self, history_log, tpch_batch):
+        gains, observed = compute_scheduling_gains(history_log, tpch_batch)
+        np.testing.assert_allclose(gains, gains.T)
+        assert observed.any()
+        assert gains.shape == (len(tpch_batch), len(tpch_batch))
+
+    def test_unobserved_pairs_are_zero(self, history_log, tpch_batch):
+        gains, observed = compute_scheduling_gains(history_log, tpch_batch)
+        assert np.all(gains[~observed] == 0.0)
+
+    def test_gain_values_bounded(self, history_log, tpch_batch):
+        gains, _ = compute_scheduling_gains(history_log, tpch_batch)
+        assert np.all(gains <= 1.0 + 1e-9)
+
+    def test_gain_model_fits_and_predicts_symmetrically(self, plan_embeddings):
+        rng = np.random.default_rng(0)
+        model = GainModel(plan_embeddings.shape[1], 16, rng)
+        n = plan_embeddings.shape[0]
+        gains = rng.normal(0, 0.1, size=(n, n))
+        gains = (gains + gains.T) / 2
+        observed = np.ones((n, n), dtype=bool)
+        losses = model.fit(plan_embeddings, gains, observed, epochs=3)
+        assert losses[-1] <= losses[0] * 1.5
+        a = model.predict(plan_embeddings[0], plan_embeddings[1])
+        b = model.predict(plan_embeddings[1], plan_embeddings[0])
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_build_gain_matrix_fills_unobserved(self, history_log, tpch_batch, plan_embeddings):
+        completed = build_gain_matrix(history_log, tpch_batch, plan_embeddings, hidden_dim=16, epochs=2)
+        _, observed = compute_scheduling_gains(history_log, tpch_batch)
+        np.testing.assert_allclose(completed, completed.T, atol=1e-9)
+        assert completed.shape == observed.shape
+
+
+class TestClustering:
+    def test_cluster_count_and_coverage(self, history_log, tpch_batch, tpch_knowledge):
+        gains, _ = compute_scheduling_gains(history_log, tpch_batch)
+        clusters = cluster_queries(tpch_batch, gains, num_clusters=5, knowledge=tpch_knowledge)
+        assert clusters.num_clusters <= 5
+        covered = sorted(qid for c in range(clusters.num_clusters) for qid in clusters.members(c))
+        assert covered == list(range(len(tpch_batch)))
+
+    def test_intra_order_mcf_is_descending(self, history_log, tpch_batch, tpch_knowledge):
+        gains, _ = compute_scheduling_gains(history_log, tpch_batch)
+        clusters = cluster_queries(tpch_batch, gains, num_clusters=4, knowledge=tpch_knowledge, intra_cluster_order="mcf")
+        for cluster_id in range(clusters.num_clusters):
+            times = [tpch_knowledge.average_time(qid) for qid in clusters.intra_order(cluster_id)]
+            assert times == sorted(times, reverse=True)
+
+    def test_one_cluster_per_query_is_identity(self, tpch_batch):
+        n = len(tpch_batch)
+        clusters = cluster_queries(tpch_batch, np.zeros((n, n)), num_clusters=n)
+        assert clusters.num_clusters == n
+        assert all(len(clusters.members(c)) == 1 for c in range(n))
+
+    def test_invalid_inputs_rejected(self, tpch_batch):
+        n = len(tpch_batch)
+        with pytest.raises(SchedulingError):
+            cluster_queries(tpch_batch, np.zeros((2, 2)), num_clusters=2)
+        with pytest.raises(SchedulingError):
+            cluster_queries(tpch_batch, np.zeros((n, n)), num_clusters=0)
+
+    def test_cluster_of_matches_members(self, history_log, tpch_batch):
+        gains, _ = compute_scheduling_gains(history_log, tpch_batch)
+        clusters = cluster_queries(tpch_batch, gains, num_clusters=3)
+        for cluster_id in range(clusters.num_clusters):
+            for qid in clusters.members(cluster_id):
+                assert clusters.cluster_of(qid) == cluster_id
+
+
+@pytest.fixture(scope="module")
+def simulator(tpch_batch, plan_embeddings, tpch_knowledge, config_space, history_log):
+    sim = LearnedSimulator(
+        batch=tpch_batch,
+        plan_embeddings=plan_embeddings,
+        knowledge=tpch_knowledge,
+        config_space=config_space,
+        config=SimulatorConfig(hidden_dim=24, epochs=3),
+        seed=0,
+    )
+    sim.train_from_log(history_log)
+    return sim
+
+
+class TestLearnedSimulator:
+    def test_training_reports_metrics(self, tpch_batch, plan_embeddings, tpch_knowledge, config_space, history_log):
+        sim = LearnedSimulator(tpch_batch, plan_embeddings, tpch_knowledge, config_space, SimulatorConfig(hidden_dim=16, epochs=2), seed=1)
+        metrics = sim.train_from_log(history_log)
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert metrics.mse >= 0.0
+        assert metrics.num_examples > 0
+
+    def test_attention_and_multitask_flags_change_model(self, tpch_batch, plan_embeddings, tpch_knowledge, config_space, history_log):
+        base = SimulatorConfig(hidden_dim=16, epochs=2)
+        no_attention = SimulatorConfig(hidden_dim=16, epochs=2, use_attention=False)
+        sim_a = LearnedSimulator(tpch_batch, plan_embeddings, tpch_knowledge, config_space, base, seed=2)
+        sim_b = LearnedSimulator(tpch_batch, plan_embeddings, tpch_knowledge, config_space, no_attention, seed=2)
+        metrics_a = sim_a.train_from_log(history_log)
+        metrics_b = sim_b.train_from_log(history_log)
+        assert metrics_a.num_examples == metrics_b.num_examples
+
+    def test_update_from_log_runs(self, simulator, history_log):
+        metrics = simulator.update_from_log(history_log)
+        assert metrics.num_examples > 0
+
+    def test_untrained_simulator_rejects_empty_log(self, tpch_batch, plan_embeddings, tpch_knowledge, config_space):
+        from repro.dbms import ExecutionLog
+
+        sim = LearnedSimulator(tpch_batch, plan_embeddings, tpch_knowledge, config_space, SimulatorConfig(hidden_dim=16), seed=0)
+        with pytest.raises(SimulationError):
+            sim.train_from_log(ExecutionLog())
+
+    def test_simulated_session_protocol(self, simulator, tpch_batch):
+        session = simulator.new_session(tpch_batch, num_connections=3, round_id=0)
+        assert session.has_idle_connection and session.has_pending and not session.is_done
+        session.submit(0, RunningParameters(1, 64))
+        session.submit(1, RunningParameters(2, 256))
+        assert session.num_running == 2
+        session.advance()
+        assert len(session.finished) == 1
+        assert session.current_time > 0
+        assert session.makespan == session.current_time
+
+    def test_simulated_session_validation(self, simulator, tpch_batch):
+        session = simulator.new_session(tpch_batch, num_connections=1)
+        with pytest.raises(SimulationError):
+            session.advance()
+        session.submit(0, RunningParameters(1, 64))
+        with pytest.raises(SimulationError):
+            session.submit(0, RunningParameters(1, 64))
+        with pytest.raises(SimulationError):
+            session.submit(1, RunningParameters(1, 64))
+
+    def test_full_episode_on_simulator_backend(self, simulator, tpch_batch, small_config, config_space, tpch_knowledge):
+        env = SchedulingEnv(
+            batch=tpch_batch,
+            backend=simulator,
+            scheduler_config=small_config.scheduler,
+            config_space=config_space,
+            knowledge=tpch_knowledge,
+            mask=AdaptiveMask.unmasked(len(tpch_batch), len(config_space)),
+        )
+        result = FIFOScheduler().run_round(env, round_id=0)
+        assert result.num_queries == len(tpch_batch)
+        assert result.makespan > 0

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbms import BufferPool, QueryExecutionRecord, RoundLog, RunningParameters
+from repro.core import AdaptiveMask
+from repro.nn import Tensor, masked_log_softmax
+from repro.workloads import make_workload
+
+
+small_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestTensorProperties:
+    @given(st.lists(small_floats, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_probability_distribution(self, values):
+        probs = Tensor(np.array(values)).softmax(axis=-1).data
+        assert probs.min() >= 0.0
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(small_floats, min_size=2, max_size=10), st.lists(small_floats, min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_addition_is_commutative(self, a, b):
+        size = min(len(a), len(b))
+        x, y = np.array(a[:size]), np.array(b[:size])
+        left = (Tensor(x) + Tensor(y)).data
+        right = (Tensor(y) + Tensor(x)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(st.lists(small_floats, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(np.array(values), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(len(values)))
+
+    @given(st.lists(small_floats, min_size=2, max_size=8), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_softmax_zeroes_masked_entries(self, values, masked_index):
+        values = np.array(values)
+        masked_index = masked_index % len(values)
+        mask = np.ones(len(values), dtype=bool)
+        if len(values) > 1:
+            mask[masked_index] = False
+        probs = np.exp(masked_log_softmax(Tensor(values), mask).data)
+        assert probs[~mask].max(initial=0.0) < 1e-6
+        assert probs.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBufferProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.floats(min_value=0, max_value=500)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_buffer_never_exceeds_capacity_by_much(self, touches):
+        pool = BufferPool(300)
+        for now, (table, rows) in enumerate(touches):
+            pool.touch(table, rows, now=float(now))
+            # at most one table may overflow transiently before eviction stops
+            assert pool.used_rows <= 300 * 2
+        assert all(rows <= 300 + 1e-9 for rows in pool.resident_tables().values())
+
+    @given(st.floats(min_value=1, max_value=1e6), st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_cached_fraction_bounded(self, capacity, rows):
+        pool = BufferPool(capacity)
+        pool.touch("t", rows, now=0.0)
+        assert 0.0 <= pool.cached_fraction("t", max(rows, 1.0)) <= 1.0
+
+
+class TestLogProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=50), st.floats(min_value=0.1, max_value=20)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, executions):
+        round_log = RoundLog(round_id=0)
+        for index, (start, duration) in enumerate(executions):
+            round_log.add(
+                QueryExecutionRecord(
+                    query_id=index, query_name=f"q{index}", template_id=index, connection=0,
+                    parameters=RunningParameters(1, 64), submit_time=start, finish_time=start + duration,
+                )
+            )
+        durations = [r.execution_time for r in round_log]
+        assert round_log.makespan >= max(durations) - 1e-9
+        assert round_log.makespan <= sum(durations) + max(r.submit_time for r in round_log) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_is_symmetric(self, durations):
+        records = []
+        start = 0.0
+        for index, duration in enumerate(durations):
+            records.append(
+                QueryExecutionRecord(
+                    query_id=index, query_name=f"q{index}", template_id=index, connection=index,
+                    parameters=RunningParameters(1, 64), submit_time=start * 0.5, finish_time=start * 0.5 + duration,
+                )
+            )
+            start += duration
+        for a in records:
+            for b in records:
+                assert a.overlap_with(b) == pytest.approx(b.overlap_with(a))
+
+
+class TestMaskProperties:
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_unmasked_action_mask_counts(self, num_queries, num_configs):
+        mask = AdaptiveMask.unmasked(num_queries, num_configs)
+        selectable = list(range(0, num_queries, 2))
+        action_mask = mask.action_mask(selectable)
+        assert action_mask.sum() == len(selectable) * num_configs
+        assert mask.masked_fraction() == 0.0
+
+
+class TestWorkloadProperties:
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_data_scaling_is_monotone(self, factor):
+        base = make_workload("tpch", scale_factor=1.0, seed=0)
+        scaled = base.with_data_scale(factor)
+        if factor >= 1.0:
+            assert scaled.batch_query_set().total_work() >= base.batch_query_set().total_work() * 0.99
+        else:
+            assert scaled.batch_query_set().total_work() <= base.batch_query_set().total_work() * 1.01
