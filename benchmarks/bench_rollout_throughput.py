@@ -1,0 +1,88 @@
+"""Rollout-collection throughput: scalar engine vs vectorized engine.
+
+Measures steps/second of simulator-backed rollout collection — the dominant
+cost of BQSched's pre-training phase — for the legacy sequential path
+(``num_envs=1``: one policy forward and one simulator prediction at a time)
+against the vectorized execution spine (``num_envs=8``: one batched policy
+forward per decision round and lockstep-batched simulator predictions).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_rollout_throughput.py
+
+The vectorized engine is expected to reach >= 3x the scalar steps/sec at
+``num_envs=8`` on the paper-default encoder configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.bench import print_table
+from repro.core import BQSched
+
+
+def build_scheduler(seed: int = 0) -> BQSched:
+    """A TPC-H BQSched instance with a trained simulator to roll out against."""
+    workload = make_workload("tpch", scale_factor=1.0, seed=seed)
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=seed)
+    config = BQSchedConfig(seed=seed)  # paper-default encoder (state_dim=48, 2 layers)
+    config.simulator.epochs = 5
+    scheduler = BQSched(workload, engine, config)
+    scheduler.prepare(history_rounds=2)
+    return scheduler
+
+
+def measure(scheduler: BQSched, num_envs: int, episodes: int, repeats: int) -> tuple[float, float]:
+    """Median steps/sec (and steps/episode) over ``repeats`` trials."""
+    sim_env = scheduler._build_env(backend=scheduler.simulator)
+    trainer = scheduler._make_trainer(sim_env, num_envs=num_envs)
+    trainer.collect_rollouts(max(2, num_envs))  # warm caches and BLAS
+    rates = []
+    steps_per_episode = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        buffer = trainer.collect_rollouts(episodes)
+        elapsed = time.perf_counter() - started
+        assert len(buffer.episodes) == episodes
+        rates.append(len(buffer) / elapsed)
+        steps_per_episode = len(buffer) / episodes
+    return float(np.median(rates)), steps_per_episode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=24, help="episodes per timed trial")
+    parser.add_argument("--repeats", type=int, default=3, help="timed trials per configuration (median)")
+    parser.add_argument("--num-envs", type=int, default=8, help="vectorized environment count")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scheduler = build_scheduler(seed=args.seed)
+    scalar_rate, steps_per_episode = measure(scheduler, 1, args.episodes, args.repeats)
+    vector_rate, _ = measure(scheduler, args.num_envs, args.episodes, args.repeats)
+    speedup = vector_rate / scalar_rate
+
+    print_table(
+        ["engine", "num_envs", "steps/sec", "speedup"],
+        [
+            ["scalar (legacy)", "1", f"{scalar_rate:.0f}", "1.00x"],
+            ["vectorized", str(args.num_envs), f"{vector_rate:.0f}", f"{speedup:.2f}x"],
+        ],
+        title=(
+            f"Simulator-backed rollout collection (TPC-H, {steps_per_episode:.0f} steps/episode, "
+            f"{args.episodes} episodes, median of {args.repeats})"
+        ),
+    )
+    target = 3.0
+    verdict = "PASS" if speedup >= target else "BELOW TARGET"
+    print(f"vectorized speedup {speedup:.2f}x vs scalar (target >= {target:.0f}x): {verdict}")
+    return 0 if speedup >= target else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

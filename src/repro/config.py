@@ -80,6 +80,21 @@ class PPOConfig:
     ``aux_every`` is the number of PPO iterations between auxiliary phases
     (``N_ppo`` in Algorithm 1); ``beta_clone`` weighs the behaviour-cloning KL
     term of the IQ-PPO auxiliary objective.
+
+    ``num_envs`` selects the rollout engine: ``1`` (default) keeps the
+    original sequential, seed-for-seed reproducible path, while ``N > 1``
+    collects episodes from N lockstep environments driven by one batched
+    policy forward per decision round, and switches the PPO update (plus the
+    PPG / IQ-PPO auxiliary phases) to whole-minibatch batched
+    forward/backward passes.
+
+    Note: the :class:`~repro.core.bqsched.RLSchedulerBase` facade upgrades
+    its *simulator pre-training* phase to
+    ``RLSchedulerBase.pretrain_num_envs`` lockstep envs by default even at
+    ``num_envs=1`` (pre-training steps are free, so the speedup is pure
+    win); set ``scheduler.pretrain_num_envs = 1`` to force fully sequential,
+    legacy-identical pre-training.  Direct ``PPOTrainer`` use always honours
+    ``num_envs`` exactly.
     """
 
     learning_rate: float = 3e-4
@@ -92,6 +107,7 @@ class PPOConfig:
     minibatch_size: int = 64
     max_grad_norm: float = 0.5
     rollouts_per_update: int = 4
+    num_envs: int = 1
     aux_every: int = 10
     aux_epochs: int = 3
     beta_clone: float = 1.0
@@ -103,6 +119,7 @@ class PPOConfig:
         _require(0 < self.clip_epsilon < 1, "clip_epsilon must be in (0, 1)")
         _require(self.epochs_per_update >= 1, "epochs_per_update must be >= 1")
         _require(self.rollouts_per_update >= 1, "rollouts_per_update must be >= 1")
+        _require(self.num_envs >= 1, "num_envs must be >= 1")
         _require(self.aux_every >= 1, "aux_every must be >= 1")
 
 

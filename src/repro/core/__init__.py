@@ -4,6 +4,7 @@ from .types import SchedulingResult, StrategyEvaluation
 from .knowledge import ExternalKnowledge
 from .masking import AdaptiveMask
 from .env import SchedulingEnv, StepResult
+from .vecenv import VectorSchedulingEnv
 from .baselines import BaseScheduler, FIFOScheduler, MCFScheduler, RandomScheduler, run_episode
 from .policy import ActorCriticNetwork, PolicyDecision
 from .rollout import RolloutBuffer, Transition
@@ -22,6 +23,7 @@ __all__ = [
     "AdaptiveMask",
     "SchedulingEnv",
     "StepResult",
+    "VectorSchedulingEnv",
     "BaseScheduler",
     "FIFOScheduler",
     "MCFScheduler",

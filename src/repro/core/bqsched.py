@@ -20,6 +20,7 @@ simulator pre-training.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -57,6 +58,11 @@ class RLSchedulerBase(BaseScheduler):
     use_clustering = False
     use_simulator = False
     use_attention_state = True
+    #: Simulator pre-training steps cost nothing on the real DBMS, so it runs
+    #: N lockstep envs by default (capped by the per-update episode budget —
+    #: extra envs beyond that would never start an episode).  Set to 1 on an
+    #: instance to restore fully sequential, legacy-identical pre-training.
+    pretrain_num_envs = 4
 
     def __init__(
         self,
@@ -133,13 +139,16 @@ class RLSchedulerBase(BaseScheduler):
             strategy_name=self.name,
         )
 
-    def _make_trainer(self, env: SchedulingEnv) -> PPOTrainer:
+    def _make_trainer(self, env: SchedulingEnv, num_envs: int | None = None) -> PPOTrainer:
         trainer_cls = _ALGORITHMS[self.algorithm]
+        ppo_config = self.config.ppo
+        if num_envs is not None and num_envs != ppo_config.num_envs:
+            ppo_config = replace(ppo_config, num_envs=num_envs)
         return trainer_cls(
             policy=self.policy,
             plan_embeddings=self.plan_embeddings,
             env=env,
-            config=self.config.ppo,
+            config=ppo_config,
             seed=self.config.seed,
             eval_env=self.env,
         )
@@ -229,7 +238,11 @@ class RLSchedulerBase(BaseScheduler):
             pretrain_updates = pretrain_updates if pretrain_updates is not None else num_updates
             started = time.perf_counter()
             sim_env = self._build_env(backend=self.simulator)
-            pretrainer = self._make_trainer(sim_env)
+            pretrain_envs = max(
+                self.config.ppo.num_envs,
+                min(self.pretrain_num_envs, self.config.ppo.rollouts_per_update),
+            )
+            pretrainer = self._make_trainer(sim_env, num_envs=pretrain_envs)
             pretrainer.train(pretrain_updates, eval_every=0)
             self.timings["pretrain"] = time.perf_counter() - started
             if keep_best:

@@ -82,6 +82,7 @@ class SchedulingEnv:
         self._last_time = 0.0
         self._cluster_remaining: list[list[int]] = []
         self._round_counter = 0
+        self._static_infos: dict[tuple[int, QueryStatus], QueryRuntimeInfo] = {}
 
     # ------------------------------------------------------------------ #
     # Action space
@@ -140,10 +141,15 @@ class SchedulingEnv:
     # Episode control
     # ------------------------------------------------------------------ #
     def reset(self, round_id: int | None = None, strategy: str | None = None) -> SchedulingSnapshot:
-        """Start a new scheduling round and return the initial snapshot."""
+        """Start a new scheduling round and return the initial snapshot.
+
+        An explicit ``round_id`` (e.g. an evaluation round at 10_000+) leaves
+        the auto-increment counter untouched, so subsequent auto-numbered
+        rounds continue from where they left off instead of jumping past it.
+        """
         if round_id is None:
             round_id = self._round_counter
-        self._round_counter = round_id + 1
+            self._round_counter += 1
         self._session = self.backend.new_session(
             self.batch,
             num_connections=self.scheduler_config.num_connections,
@@ -151,6 +157,7 @@ class SchedulingEnv:
             round_id=round_id,
         )
         self._last_time = 0.0
+        self._static_infos.clear()
         if self.cluster_mode:
             self._cluster_remaining = [list(self.clusters.intra_order(c)) for c in range(self.clusters.num_clusters)]
         return self.snapshot()
@@ -166,9 +173,35 @@ class SchedulingEnv:
             self._submit_query(slot, config_index)
 
         # Advance the clock until another decision is possible or the round ends.
-        while not self._session.is_done and not self._can_decide():
+        while self.needs_advance():
             self._session.advance()
+        return self.finish_step(time_before)
 
+    def begin_step(self, action: int) -> float:
+        """Submit the decision without advancing the clock; returns the submit time.
+
+        Part of the decomposed step used by the vectorized engine, which
+        interleaves the clock advances of N environments so their simulator
+        predictions can run as one batched forward
+        (:meth:`VectorSchedulingEnv.step_many`).  The caller must drive
+        :meth:`needs_advance` / the session's advance to completion and then
+        call :meth:`finish_step`.  Not available in cluster mode, whose
+        submission itself interleaves advances.
+        """
+        self._require_session()
+        if self.cluster_mode:
+            raise SchedulingError("begin_step is not available in cluster mode")
+        slot, config_index = self.decode_action(action)
+        time_before = self._session.current_time
+        self._submit_query(slot, config_index)
+        return time_before
+
+    def needs_advance(self) -> bool:
+        """Whether the clock must advance before another decision is possible."""
+        return not self._session.is_done and not self._can_decide()
+
+    def finish_step(self, time_before: float) -> StepResult:
+        """Build the :class:`StepResult` once the advance loop has converged."""
         elapsed = self._session.current_time - time_before
         reward = -elapsed * self.scheduler_config.reward_scale - self.scheduler_config.step_penalty
         done = self._session.is_done
@@ -254,26 +287,31 @@ class SchedulingEnv:
                     )
                 )
             elif query_id in finished:
-                infos.append(
-                    QueryRuntimeInfo(
-                        query_id=query_id,
-                        status=QueryStatus.FINISHED,
-                        config_index=0,
-                        elapsed=0.0,
-                        expected_time=self.knowledge.average_time(query_id),
-                    )
-                )
+                infos.append(self._static_info(query_id, QueryStatus.FINISHED))
             else:
-                infos.append(
-                    QueryRuntimeInfo(
-                        query_id=query_id,
-                        status=QueryStatus.PENDING,
-                        config_index=-1,
-                        elapsed=0.0,
-                        expected_time=self.knowledge.average_time(query_id),
-                    )
-                )
+                infos.append(self._static_info(query_id, QueryStatus.PENDING))
         return SchedulingSnapshot(time=now, infos=tuple(infos))
+
+    def _static_info(self, query_id: int, status: QueryStatus) -> QueryRuntimeInfo:
+        """Cached pending/finished info (immutable within a round).
+
+        Only running queries have step-dependent features; the pending and
+        finished entries repeat identically at every decision instant of a
+        round, so each is built once per round (the cache clears on reset,
+        when knowledge may have been refreshed between rounds).
+        """
+        key = (query_id, status)
+        info = self._static_infos.get(key)
+        if info is None:
+            info = QueryRuntimeInfo(
+                query_id=query_id,
+                status=status,
+                config_index=0 if status is QueryStatus.FINISHED else -1,
+                elapsed=0.0,
+                expected_time=self.knowledge.average_time(query_id),
+            )
+            self._static_infos[key] = info
+        return info
 
     # ------------------------------------------------------------------ #
     # Misc

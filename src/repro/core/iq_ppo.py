@@ -26,6 +26,8 @@ class IQPPOTrainer(PPOTrainer):
 
     def auxiliary_phase(self, buffer: RolloutBuffer) -> float:
         """Optimise L_joint = L_aux + beta_clone * KL(pi_old || pi_new)."""
+        if self.vectorized:
+            return self._auxiliary_phase_batched(buffer)
         transitions = buffer.sample_with_aux(self.config.minibatch_size, self.rng)
         if not transitions:
             return 0.0
@@ -50,6 +52,32 @@ class IQPPOTrainer(PPOTrainer):
             for extra in batch_losses[1:]:
                 total = total + extra
             total = total * (1.0 / len(batch_losses))
+            self.optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+            losses.append(float(total.data))
+        return float(np.mean(losses))
+
+    def _auxiliary_phase_batched(self, buffer: RolloutBuffer) -> float:
+        """The auxiliary phase with one stacked forward/backward per epoch."""
+        transitions = buffer.sample_with_aux(self.config.minibatch_size, self.rng)
+        if not transitions:
+            return 0.0
+        old_log_probs = np.stack(self._snapshot_old_policy(transitions), axis=0)
+        time_scale = self.policy.state_encoder.run_state_featurizer.time_scale
+        snapshots = [t.snapshot for t in transitions]
+        query_ids = np.array([t.aux_query_id for t in transitions], dtype=np.int64)
+        masks = np.stack([t.mask for t in transitions], axis=0)
+        targets = Tensor(np.array([t.aux_target / time_scale for t in transitions]))
+        losses = []
+        for _ in range(self.config.aux_epochs):
+            predicted, new_log_probs = self.policy.evaluate_auxiliary_batch(
+                self.plan_embeddings, snapshots, query_ids, masks, clusters=self.env.clusters
+            )
+            aux_loss = ((predicted - targets) ** 2).mean() * 0.5
+            clone = kl_divergence(old_log_probs, new_log_probs)
+            total = aux_loss + self.config.beta_clone * clone
             self.optimizer.zero_grad()
             total.backward()
             clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)

@@ -41,6 +41,13 @@ class AdaptiveMask:
         self.num_configs = num_configs
         self.mask_value = mask_value
         self._allowed = {query_id: sorted(set(configs)) for query_id, configs in allowed.items()}
+        # Dense (num_queries, num_configs) view of the allowed sets; queries
+        # absent from ``allowed`` default to every configuration.
+        self._allowed_matrix = np.ones((num_queries, num_configs), dtype=bool)
+        for query_id, configs in self._allowed.items():
+            if 0 <= query_id < num_queries:
+                self._allowed_matrix[query_id] = False
+                self._allowed_matrix[query_id, configs] = True
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -110,8 +117,8 @@ class AdaptiveMask:
         Only queries in ``selectable_ids`` (the pending ones) are unmasked,
         and only at their allowed configurations.
         """
-        mask = np.zeros(self.num_queries * self.num_configs, dtype=bool)
-        for query_id in selectable_ids:
-            for config_index in self.allowed_configs(query_id):
-                mask[query_id * self.num_configs + config_index] = True
-        return mask
+        mask = np.zeros((self.num_queries, self.num_configs), dtype=bool)
+        ids = np.fromiter(selectable_ids, dtype=np.int64)
+        if ids.size:
+            mask[ids] = self._allowed_matrix[ids]
+        return mask.reshape(self.num_queries * self.num_configs)

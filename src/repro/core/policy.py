@@ -15,9 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import EncoderConfig
-from ..encoder import SchedulingSnapshot, StateEncoder, StateRepresentation
+from ..encoder import BatchedStateRepresentation, SchedulingSnapshot, StateEncoder, StateRepresentation
 from ..exceptions import SchedulingError
-from ..nn import MLP, Module, Tensor, concatenate, masked_log_softmax, no_grad, stack
+from ..nn import MLP, Module, Tensor, concatenate, fastinfer, masked_log_softmax, no_grad, stack
 
 __all__ = ["ActorCriticNetwork", "PolicyDecision"]
 
@@ -29,6 +29,22 @@ class PolicyDecision:
     action: int
     log_prob: float
     value: float
+
+
+def _cluster_member_indices(clusters, snapshot: SchedulingSnapshot) -> list[np.ndarray]:
+    """Per-cluster member index arrays to pool, one entry per cluster.
+
+    Pending members are pooled when any remain; a fully drained cluster
+    falls back to all of its members so its token stays well-defined.
+    """
+    pending = set(snapshot.pending_ids)
+    indices = []
+    for cluster_id in range(clusters.num_clusters):
+        members = [qid for qid in clusters.members(cluster_id) if qid in pending]
+        if not members:
+            members = list(clusters.members(cluster_id))
+        indices.append(np.asarray(members, dtype=np.int64))
+    return indices
 
 
 class ActorCriticNetwork(Module):
@@ -68,14 +84,10 @@ class ActorCriticNetwork(Module):
         if clusters is None:
             per_query_logits = self.policy_head(representation.per_query)
             return per_query_logits.reshape(representation.num_queries * self.num_configs)
-        pending = set(snapshot.pending_ids)
-        cluster_tokens = []
-        for cluster_id in range(clusters.num_clusters):
-            members = [qid for qid in clusters.members(cluster_id) if qid in pending]
-            if not members:
-                members = list(clusters.members(cluster_id))
-            member_reps = representation.per_query[np.asarray(members, dtype=np.int64)]
-            cluster_tokens.append(member_reps.mean(axis=0))
+        cluster_tokens = [
+            representation.per_query[members].mean(axis=0)
+            for members in _cluster_member_indices(clusters, snapshot)
+        ]
         pooled = stack(cluster_tokens, axis=0)
         cluster_logits = self.policy_head(pooled)
         return cluster_logits.reshape(clusters.num_clusters * self.num_configs)
@@ -87,6 +99,49 @@ class ActorCriticNetwork(Module):
     def auxiliary_times(self, representation: StateRepresentation) -> Tensor:
         """Predicted remaining time per query (the IQ-PPO auxiliary output)."""
         return self.aux_head(representation.per_query).reshape(representation.num_queries)
+
+    # ------------------------------------------------------------------ #
+    # Batched forward passes (the vectorized hot path)
+    # ------------------------------------------------------------------ #
+    def encode_batch(
+        self, plan_embeddings: np.ndarray, snapshots: list[SchedulingSnapshot]
+    ) -> BatchedStateRepresentation:
+        """Shared state representations for B snapshots in one stacked forward."""
+        return self.state_encoder.encode_batch(plan_embeddings, snapshots)
+
+    def action_logits_batch(
+        self,
+        representation: BatchedStateRepresentation,
+        snapshots: list[SchedulingSnapshot],
+        clusters=None,
+    ) -> Tensor:
+        """Flat action logits of shape ``(batch, action_dim)``."""
+        batch = representation.batch_size
+        if clusters is None:
+            logits = self.policy_head(representation.per_query)
+            return logits.reshape(batch, representation.num_queries * self.num_configs)
+        # Cluster pooling depends on each snapshot's pending set, so the member
+        # gathering stays per-snapshot; the policy head still runs stacked.
+        pooled_rows = []
+        for index, snapshot in enumerate(snapshots):
+            per_query = representation.per_query[index]
+            tokens = [
+                per_query[members].mean(axis=0)
+                for members in _cluster_member_indices(clusters, snapshot)
+            ]
+            pooled_rows.append(stack(tokens, axis=0))
+        pooled = stack(pooled_rows, axis=0)
+        return self.policy_head(pooled).reshape(batch, clusters.num_clusters * self.num_configs)
+
+    def state_values_batch(self, representation: BatchedStateRepresentation) -> Tensor:
+        """State values of shape ``(batch,)``."""
+        return self.value_head(representation.global_state).reshape(representation.batch_size)
+
+    def auxiliary_times_batch(self, representation: BatchedStateRepresentation) -> Tensor:
+        """Predicted remaining times of shape ``(batch, n)``."""
+        return self.aux_head(representation.per_query).reshape(
+            representation.batch_size, representation.num_queries
+        )
 
     # ------------------------------------------------------------------ #
     # Acting and evaluation
@@ -134,6 +189,98 @@ class ActorCriticNetwork(Module):
         entropy = -(probs * log_probs).sum()
         value = self.state_value(representation)
         return log_prob, entropy, value, log_probs
+
+    def act_batch(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshots: list[SchedulingSnapshot],
+        masks: np.ndarray,
+        rng: np.random.Generator,
+        greedy: bool = False,
+        clusters=None,
+    ) -> list[PolicyDecision]:
+        """Sample one action per snapshot from a single stacked forward pass.
+
+        ``masks`` is the ``(batch, action_dim)`` stack of per-env action masks.
+        Sampling consumes ``rng`` once per snapshot, in order, mirroring the
+        sequential :meth:`act` calls it replaces.  The whole forward runs on
+        the tape-free NumPy inference path — rollouts never differentiate.
+        """
+        batch = len(snapshots)
+        masks = np.asarray(masks, dtype=bool)
+        per_query, global_state = self.state_encoder.encode_batch_arrays(plan_embeddings, snapshots)
+        if clusters is None:
+            logits = fastinfer.mlp_forward(self.policy_head, per_query).reshape(batch, -1)
+        else:
+            pooled = np.empty((batch, clusters.num_clusters, per_query.shape[2]), dtype=per_query.dtype)
+            for index, snapshot in enumerate(snapshots):
+                for cluster_id, members in enumerate(_cluster_member_indices(clusters, snapshot)):
+                    pooled[index, cluster_id] = per_query[index][members].mean(axis=0)
+            logits = fastinfer.mlp_forward(self.policy_head, pooled).reshape(batch, -1)
+        log_probs = fastinfer.masked_log_softmax_array(logits, masks)
+        values = fastinfer.mlp_forward(self.value_head, global_state).reshape(batch)
+        if greedy:
+            actions = np.argmax(log_probs, axis=1)
+        else:
+            probs = np.exp(log_probs)
+            probs = probs / probs.sum(axis=1, keepdims=True)
+            cdf = np.cumsum(probs, axis=1)
+            uniforms = rng.random(batch)
+            # Clamp the inverse-CDF count into each row's unmasked range:
+            # float32 rounding can leave cdf[-1] slightly below 1 (count
+            # overflows into the masked zero-probability tail), and a uniform
+            # draw of exactly 0.0 would select a masked leading action.
+            first_allowed = np.argmax(masks, axis=1)
+            last_allowed = masks.shape[1] - 1 - np.argmax(masks[:, ::-1], axis=1)
+            actions = np.clip((cdf < uniforms[:, None]).sum(axis=1), first_allowed, last_allowed)
+        return [
+            PolicyDecision(action=int(action), log_prob=float(log_probs[row, action]), value=float(value))
+            for row, (action, value) in enumerate(zip(actions, values))
+        ]
+
+    def evaluate_actions_batch(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshots: list[SchedulingSnapshot],
+        actions: np.ndarray,
+        masks: np.ndarray,
+        clusters=None,
+    ) -> tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Differentiable evaluation of a whole minibatch in one forward.
+
+        Returns ``(log_probs_of_actions, entropies, values, full_log_probs)``
+        with shapes ``(batch,)``, ``(batch,)``, ``(batch,)``, ``(batch, action_dim)``.
+        """
+        batch = len(snapshots)
+        representation = self.encode_batch(plan_embeddings, snapshots)
+        logits = self.action_logits_batch(representation, snapshots, clusters=clusters)
+        log_probs = masked_log_softmax(logits, masks)
+        taken = log_probs[np.arange(batch), np.asarray(actions, dtype=np.int64)]
+        probs = log_probs.exp()
+        entropies = -(probs * log_probs).sum(axis=-1)
+        values = self.state_values_batch(representation)
+        return taken, entropies, values, log_probs
+
+    def evaluate_auxiliary_batch(
+        self,
+        plan_embeddings: np.ndarray,
+        snapshots: list[SchedulingSnapshot],
+        query_ids: np.ndarray,
+        masks: np.ndarray,
+        clusters=None,
+    ) -> tuple[Tensor, Tensor]:
+        """Batched counterpart of :meth:`evaluate_auxiliary`.
+
+        Returns ``(predicted_remaining_times, full_log_probs)`` of shapes
+        ``(batch,)`` and ``(batch, action_dim)``.
+        """
+        batch = len(snapshots)
+        representation = self.encode_batch(plan_embeddings, snapshots)
+        times = self.auxiliary_times_batch(representation)
+        picked = times[np.arange(batch), np.asarray(query_ids, dtype=np.int64)]
+        logits = self.action_logits_batch(representation, snapshots, clusters=clusters)
+        log_probs = masked_log_softmax(logits, masks)
+        return picked, log_probs
 
     def evaluate_auxiliary(
         self,

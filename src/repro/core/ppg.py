@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Adam, Tensor, clip_grad_norm, kl_divergence
+from ..nn import Adam, Tensor, clip_grad_norm, kl_divergence, masked_log_softmax
 from .ppo import PPOTrainer
 from .rollout import RolloutBuffer
 
@@ -26,6 +26,8 @@ class PPGTrainer(PPOTrainer):
 
     def auxiliary_phase(self, buffer: RolloutBuffer) -> float:
         """Fit the auxiliary head to GAE value targets on off-policy data."""
+        if self.vectorized:
+            return self._auxiliary_phase_batched(buffer)
         transitions = buffer.sample(self.config.minibatch_size, self.rng)
         if not transitions:
             return 0.0
@@ -43,8 +45,6 @@ class PPGTrainer(PPOTrainer):
                 target = Tensor(np.array(transition.value_target))
                 aux_loss = (value_prediction - target) ** 2 * 0.5
                 logits = self.policy.action_logits(representation, transition.snapshot, clusters=clusters)
-                from ..nn import masked_log_softmax
-
                 new_log_probs = masked_log_softmax(logits, transition.mask)
                 clone = kl_divergence(old, new_log_probs)
                 batch_losses.append(aux_loss + self.config.beta_clone * clone)
@@ -52,6 +52,37 @@ class PPGTrainer(PPOTrainer):
             for extra in batch_losses[1:]:
                 total = total + extra
             total = total * (1.0 / len(batch_losses))
+            self.optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+            losses.append(float(total.data))
+        return float(np.mean(losses))
+
+    def _auxiliary_phase_batched(self, buffer: RolloutBuffer) -> float:
+        """The auxiliary phase with one stacked forward/backward per epoch.
+
+        The objective is the per-sample mean of ``aux + beta * clone``, the
+        same quantity the sequential loop accumulates term by term.
+        """
+        transitions = buffer.sample(self.config.minibatch_size, self.rng)
+        if not transitions:
+            return 0.0
+        old_log_probs = np.stack(self._snapshot_old_policy(transitions), axis=0)
+        clusters = self.env.clusters
+        snapshots = [t.snapshot for t in transitions]
+        masks = np.stack([t.mask for t in transitions], axis=0)
+        targets = Tensor(np.array([t.value_target for t in transitions]))
+        losses = []
+        for _ in range(self.config.aux_epochs):
+            representation = self.policy.encode_batch(self.plan_embeddings, snapshots)
+            predicted = self.policy.auxiliary_times_batch(representation)
+            value_predictions = predicted.mean(axis=-1)
+            aux_loss = ((value_predictions - targets) ** 2).mean() * 0.5
+            logits = self.policy.action_logits_batch(representation, snapshots, clusters=clusters)
+            new_log_probs = masked_log_softmax(logits, masks)
+            clone = kl_divergence(old_log_probs, new_log_probs)
+            total = aux_loss + self.config.beta_clone * clone
             self.optimizer.zero_grad()
             total.backward()
             clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)

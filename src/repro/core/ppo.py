@@ -5,6 +5,14 @@ scheduling episodes from a :class:`repro.core.env.SchedulingEnv`, computes
 GAE advantages, and optimises the clipped surrogate objective plus a value
 loss and an entropy bonus.  PPG and IQ-PPO subclass it and add their
 respective auxiliary phases.
+
+With ``PPOConfig.num_envs > 1`` the trainer switches to the vectorized
+execution spine: rollouts are collected from a
+:class:`~repro.core.vecenv.VectorSchedulingEnv` stepping N sessions in
+lockstep with one batched policy forward per decision round, and the PPO
+update evaluates each minibatch with a single stacked forward/backward
+instead of one encoder pass per transition.  ``num_envs=1`` keeps the
+original sequential code path bit-for-bit.
 """
 
 from __future__ import annotations
@@ -14,11 +22,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import PPOConfig
-from ..nn import Adam, Tensor, clip_grad_norm, concatenate, kl_divergence
+from ..nn import Adam, Tensor, clip_grad_norm, concatenate, kl_divergence, where
 from .env import SchedulingEnv
 from .policy import ActorCriticNetwork
 from .rollout import RolloutBuffer, Transition
 from .types import StrategyEvaluation
+from .vecenv import VectorSchedulingEnv
 
 __all__ = ["PPOTrainer", "TrainingHistory"]
 
@@ -61,15 +70,29 @@ class PPOTrainer:
         self.rng = np.random.default_rng(seed)
         self.optimizer = Adam(policy.parameters(), lr=config.learning_rate)
         self.history = TrainingHistory()
+        self.num_envs = max(1, config.num_envs)
+        self.vec_env = VectorSchedulingEnv.from_template(env, self.num_envs) if self.num_envs > 1 else None
         self._total_steps = 0
         self._updates_since_aux = 0
         self._round_counter = 0
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether rollouts and updates use the batched execution spine."""
+        return self.num_envs > 1
 
     # ------------------------------------------------------------------ #
     # Rollout collection
     # ------------------------------------------------------------------ #
     def collect_rollouts(self, num_episodes: int) -> RolloutBuffer:
-        """Sample ``num_episodes`` complete scheduling rounds with the current policy."""
+        """Sample ``num_episodes`` complete scheduling rounds with the current policy.
+
+        Dispatches to the vectorized collector when ``num_envs > 1``; the
+        sequential path below is untouched so ``num_envs=1`` stays
+        seed-for-seed identical to the original implementation.
+        """
+        if self.vectorized:
+            return self._collect_rollouts_vectorized(num_episodes)
         buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
         clusters = self.env.clusters
         for _ in range(num_episodes):
@@ -101,11 +124,75 @@ class PPOTrainer:
             buffer.finish_episode(result.round_log, result.makespan)
         return buffer
 
+    def _collect_rollouts_vectorized(self, num_episodes: int) -> RolloutBuffer:
+        """Collect ``num_episodes`` episodes from N lockstep environments.
+
+        Every decision round runs ONE batched policy forward over the active
+        sub-envs' snapshots and stacked action masks; finished sub-envs are
+        re-seeded with the next episode until the budget is exhausted, then
+        drop out of the lockstep batch.
+        """
+        buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
+        vec = self.vec_env
+        clusters = vec.clusters
+        snapshots: dict[int, object] = {}
+        active: list[int] = []
+        episodes_started = 0
+        for index in range(min(vec.num_envs, num_episodes)):
+            snapshots[index] = vec.reset_at(index, round_id=self._round_counter)
+            self._round_counter += 1
+            episodes_started += 1
+            active.append(index)
+        while active:
+            masks = vec.masks_for(active)
+            batch_snapshots = [snapshots[i] for i in active]
+            decisions = self.policy.act_batch(
+                self.plan_embeddings, batch_snapshots, masks, self.rng, greedy=False, clusters=clusters
+            )
+            steps = vec.step_many(active, [d.action for d in decisions])
+            still_active: list[int] = []
+            for slot, index in enumerate(active):
+                decision, step = decisions[slot], steps[slot]
+                buffer.add(
+                    Transition(
+                        snapshot=batch_snapshots[slot],
+                        action=decision.action,
+                        log_prob=decision.log_prob,
+                        value=decision.value,
+                        reward=step.reward,
+                        done=step.done,
+                        mask=masks[slot].copy(),
+                        time=batch_snapshots[slot].time,
+                    ),
+                    env_index=index,
+                )
+                self._total_steps += 1
+                if step.done:
+                    result = vec.result_at(index)
+                    buffer.finish_episode(result.round_log, result.makespan, env_index=index)
+                    if episodes_started < num_episodes:
+                        snapshots[index] = vec.reset_at(index, round_id=self._round_counter)
+                        self._round_counter += 1
+                        episodes_started += 1
+                        still_active.append(index)
+                else:
+                    snapshots[index] = step.snapshot
+                    still_active.append(index)
+            active = still_active
+        return buffer
+
     # ------------------------------------------------------------------ #
     # Optimisation
     # ------------------------------------------------------------------ #
     def update(self, buffer: RolloutBuffer) -> dict[str, float]:
-        """One PPO update over the collected buffer."""
+        """One PPO update over the collected buffer.
+
+        Vectorized trainers evaluate each minibatch with a single stacked
+        forward/backward; the sequential path below (``num_envs=1``) is the
+        original per-transition implementation.
+        """
+        if self.vectorized:
+            return self._update_batched(buffer)
         buffer.normalized_advantages()
         clusters = self.env.clusters
         policy_losses, value_losses = [], []
@@ -142,6 +229,47 @@ class PPOTrainer:
             total.backward()
             clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
             self.optimizer.step()
+        return {
+            "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
+            "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
+        }
+
+    def _update_batched(self, buffer: RolloutBuffer) -> dict[str, float]:
+        """One PPO update where every minibatch is a single batched forward.
+
+        Computes the same per-sample clipped-surrogate, value and entropy
+        terms as the sequential path, but over ``(batch, ...)`` tensors: the
+        encoder runs once per minibatch instead of once per transition.
+        """
+        buffer.normalized_advantages()
+        clusters = self.env.clusters
+        policy_losses, value_losses = [], []
+        for _ in range(self.config.epochs_per_update):
+            batch = buffer.sample(self.config.minibatch_size, self.rng)
+            snapshots = [t.snapshot for t in batch]
+            actions = np.array([t.action for t in batch], dtype=np.int64)
+            masks = np.stack([t.mask for t in batch], axis=0)
+            old_log_probs = Tensor(np.array([t.log_prob for t in batch]))
+            advantages = Tensor(np.array([t.advantage for t in batch]))
+            value_targets = Tensor(np.array([t.value_target for t in batch]))
+            log_probs, entropies, values, _ = self.policy.evaluate_actions_batch(
+                self.plan_embeddings, snapshots, actions, masks, clusters=clusters
+            )
+            ratio = (log_probs - old_log_probs).exp()
+            surrogate1 = ratio * advantages
+            surrogate2 = ratio.clip(1.0 - self.config.clip_epsilon, 1.0 + self.config.clip_epsilon) * advantages
+            clipped = where(surrogate1.data <= surrogate2.data, surrogate1, surrogate2)
+            policy_loss = (clipped * -1.0).mean()
+            value_error = values - value_targets
+            value_loss = (value_error * value_error).mean() * 0.5
+            entropy = entropies.mean()
+            loss = policy_loss + self.config.value_coef * value_loss - self.config.entropy_coef * entropy
+            self.optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+            self.optimizer.step()
+            policy_losses.append(float(policy_loss.data))
+            value_losses.append(float(value_loss.data))
         return {
             "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
             "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
@@ -206,6 +334,16 @@ class PPOTrainer:
         from ..nn import no_grad
 
         clusters = self.env.clusters
+        if self.vectorized:
+            with no_grad():
+                _, _, _, log_probs = self.policy.evaluate_actions_batch(
+                    self.plan_embeddings,
+                    [t.snapshot for t in transitions],
+                    np.array([t.action for t in transitions], dtype=np.int64),
+                    np.stack([t.mask for t in transitions], axis=0),
+                    clusters=clusters,
+                )
+            return [np.array(row, copy=True) for row in log_probs.data]
         snapshots: list[np.ndarray] = []
         with no_grad():
             for transition in transitions:

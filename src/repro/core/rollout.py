@@ -55,26 +55,32 @@ class EpisodeRecord:
 
 
 class RolloutBuffer:
-    """Episode-structured storage shared by PPO, PPG and IQ-PPO."""
+    """Episode-structured storage shared by PPO, PPG and IQ-PPO.
+
+    Transitions from several environments may be collected concurrently: each
+    in-flight episode is keyed by ``env_index``, so a vectorized rollout can
+    interleave steps from N lockstep envs and still get per-episode GAE and
+    auxiliary annotation when each episode closes.  The default
+    ``env_index=0`` preserves the original single-env interface.
+    """
 
     def __init__(self, gamma: float = 0.99, gae_lambda: float = 0.95) -> None:
         self.gamma = gamma
         self.gae_lambda = gae_lambda
         self._episodes: list[EpisodeRecord] = []
-        self._current: list[Transition] = []
+        self._current: dict[int, list[Transition]] = {}
 
     # ------------------------------------------------------------------ #
     # Collection
     # ------------------------------------------------------------------ #
-    def add(self, transition: Transition) -> None:
-        self._current.append(transition)
+    def add(self, transition: Transition, env_index: int = 0) -> None:
+        self._current.setdefault(env_index, []).append(transition)
 
-    def finish_episode(self, round_log: RoundLog, makespan: float) -> None:
-        """Close the in-flight episode: compute GAE and auxiliary targets."""
-        if not self._current:
+    def finish_episode(self, round_log: RoundLog, makespan: float, env_index: int = 0) -> None:
+        """Close the in-flight episode of ``env_index``: GAE + auxiliary targets."""
+        transitions = self._current.pop(env_index, [])
+        if not transitions:
             raise SchedulingError("finish_episode called with no transitions collected")
-        transitions = self._current
-        self._current = []
         self._compute_gae(transitions)
         self._annotate_auxiliary(transitions, round_log)
         self._episodes.append(
@@ -154,6 +160,10 @@ class RolloutBuffer:
         count = min(batch_size, len(transitions))
         indices = rng.choice(len(transitions), size=count, replace=False)
         return [transitions[i] for i in indices]
+
+    def num_in_flight(self) -> int:
+        """Number of episodes currently being collected (vectorized rollouts)."""
+        return sum(1 for transitions in self._current.values() if transitions)
 
     def clear(self) -> None:
         self._episodes.clear()

@@ -24,7 +24,7 @@ from ..config import SimulatorConfig
 from ..dbms import ConfigurationSpace, ExecutionLog, QueryExecutionRecord, RoundLog, RunningParameters
 from ..dbms.engine import RunningQueryState
 from ..exceptions import SimulationError
-from ..nn import Adam, AttentionEncoder, Linear, MLP, Module, Tensor, cross_entropy, no_grad
+from ..nn import Adam, AttentionEncoder, Linear, MLP, Module, Tensor, cross_entropy, fastinfer, no_grad
 from ..workloads import BatchQuerySet
 from .knowledge import ExternalKnowledge
 
@@ -74,6 +74,43 @@ class ConcurrentPredictionModel(Module):
         times = self.regressor(tokens).reshape(features.shape[0])
         return logits, times
 
+    def predict(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Tape-free inference returning plain arrays (the rollout hot path).
+
+        Bit-identical to :meth:`forward` but evaluated with raw NumPy, which
+        is what keeps the simulator's ``advance`` cheap when N vectorized
+        environments each advance their own session every decision round.
+        """
+        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
+            with no_grad():  # pragma: no cover - the simulator always uses LayerNorm
+                logits, times = self.forward(features)
+            return logits.data, times.data
+        tokens = np.tanh(fastinfer.linear_forward(self.input_proj, features))
+        if self.use_attention:
+            tokens = fastinfer.attention_encoder_forward(self.encoder, tokens)
+        logits = fastinfer.mlp_forward(self.classifier, tokens).reshape(features.shape[0])
+        times = fastinfer.mlp_forward(self.regressor, tokens).reshape(features.shape[0])
+        return logits, times
+
+    def predict_batched(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Tape-free inference over a ``(groups, k, feature_dim)`` stack.
+
+        One stacked forward serves every simulated session that needs an
+        advance this lockstep round (grouped by equal ``k``), instead of one
+        model call per session.
+        """
+        groups, k = features.shape[0], features.shape[1]
+        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
+            rows = [self.predict(features[g]) for g in range(groups)]  # pragma: no cover
+            return np.stack([r[0] for r in rows]), np.stack([r[1] for r in rows])
+        features = features.astype(np.float32)
+        tokens = np.tanh(fastinfer.linear_forward(self.input_proj, features))
+        if self.use_attention:
+            tokens = fastinfer.attention_encoder_forward_batched(self.encoder, tokens)
+        logits = fastinfer.mlp_forward(self.classifier, tokens).reshape(groups, k)
+        times = fastinfer.mlp_forward(self.regressor, tokens).reshape(groups, k)
+        return logits, times
+
 
 @dataclass
 class _Example:
@@ -116,6 +153,11 @@ class LearnedSimulator:
     # ------------------------------------------------------------------ #
     # Featurisation
     # ------------------------------------------------------------------ #
+    @property
+    def elapsed_column(self) -> int:
+        """Index of the ``tanh(elapsed)`` entry in a feature row."""
+        return self.plan_embeddings.shape[1] + len(self.config_space)
+
     def _features(
         self,
         query_ids: "tuple[int, ...] | list[int]",
@@ -265,6 +307,7 @@ class SimulatedSession:
         self.finished: dict[int, float] = {}
         self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
         self._idle = num_connections
+        self._feature_rows: dict[int, np.ndarray] = {}
 
     # -- protocol properties ------------------------------------------- #
     @property
@@ -312,19 +355,44 @@ class SimulatedSession:
         )
         return connection
 
-    def advance(self) -> None:
-        """Predict the earliest finisher and move the clock to its finish time."""
+    def _feature_row(self, state: RunningQueryState) -> np.ndarray:
+        """Per-query feature row with everything but the elapsed slot filled in.
+
+        A query's plan embedding, configuration one-hot and expected time are
+        fixed from submission to completion, so the row is built once per
+        round and only the ``tanh(elapsed)`` entry is rewritten per advance.
+        """
+        query_id = state.query.query_id
+        row = self._feature_rows.get(query_id)
+        if row is None:
+            row = self.simulator._features([query_id], [state.parameters], [0.0])[0]
+            self._feature_rows[query_id] = row
+        return row
+
+    def advance_features(self) -> tuple[list[RunningQueryState], np.ndarray]:
+        """Current running states and their ``(k, feature_dim)`` model input.
+
+        Exposed separately from :meth:`advance` so the vectorized engine can
+        stack the features of many sessions into one batched prediction.
+        """
         if not self.running:
             raise SimulationError("cannot advance: no query running in the simulator")
         states = list(self.running.values())
-        query_ids = [s.query.query_id for s in states]
-        parameters = [s.parameters for s in states]
-        elapsed = [self.current_time - s.submit_time for s in states]
-        features = self.simulator._features(query_ids, parameters, elapsed)
-        with no_grad():
-            logits, times = self.simulator.model(features)
-        index = int(np.argmax(logits.data))
-        remaining = max(_MIN_REMAINING, float(times.data[index]) * _TIME_SCALE)
+        features = np.stack([self._feature_row(state) for state in states], axis=0)
+        elapsed = np.array([self.current_time - s.submit_time for s in states])
+        features[:, self.simulator.elapsed_column] = np.tanh(elapsed / _TIME_SCALE)
+        return states, features
+
+    def advance(self) -> None:
+        """Predict the earliest finisher and move the clock to its finish time."""
+        states, features = self.advance_features()
+        logits, times = self.simulator.model.predict(features)
+        self.apply_advance(states, logits, times)
+
+    def apply_advance(self, states: list[RunningQueryState], logits: np.ndarray, times: np.ndarray) -> None:
+        """Finish the predicted earliest query and move the clock accordingly."""
+        index = int(np.argmax(logits))
+        remaining = max(_MIN_REMAINING, float(times[index]) * _TIME_SCALE)
         self.current_time += remaining
         state = states[index]
         query_id = state.query.query_id

@@ -1,0 +1,164 @@
+"""Vectorized scheduling environment: N independent sessions in lockstep.
+
+:class:`VectorSchedulingEnv` drives N :class:`~repro.core.env.SchedulingEnv`
+instances over the same batch query set and backend.  Sub-envs share the
+immutable components (batch, configuration space, knowledge, mask, clusters)
+but each owns its live session, so episodes progress independently.  The
+vector env exposes stacked action masks — one ``(k, action_dim)`` boolean
+array per decision — which is what feeds the policy's single batched forward
+pass (:meth:`ActorCriticNetwork.act_batch`) instead of N sequential ones.
+
+Episodes finish at different step counts, so callers track the set of
+*active* sub-env indices and shrink the stacked calls as sessions complete
+(see :meth:`PPOTrainer._collect_rollouts_vectorized`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..encoder import SchedulingSnapshot
+from ..exceptions import SchedulingError
+from .env import SchedulingEnv, StepResult
+from .types import SchedulingResult
+
+__all__ = ["VectorSchedulingEnv"]
+
+
+class VectorSchedulingEnv:
+    """N lockstep :class:`SchedulingEnv` instances with stacked action masks."""
+
+    def __init__(self, envs: Sequence[SchedulingEnv]) -> None:
+        if not envs:
+            raise SchedulingError("VectorSchedulingEnv needs at least one sub-env")
+        action_dims = {env.action_dim for env in envs}
+        if len(action_dims) != 1:
+            raise SchedulingError(f"sub-envs disagree on action_dim: {sorted(action_dims)}")
+        batch_sizes = {len(env.batch) for env in envs}
+        if len(batch_sizes) != 1:
+            raise SchedulingError(f"sub-envs disagree on batch size: {sorted(batch_sizes)}")
+        self.envs = list(envs)
+
+    @classmethod
+    def from_template(cls, env: SchedulingEnv, num_envs: int) -> "VectorSchedulingEnv":
+        """Clone ``env`` into ``num_envs`` sub-envs sharing its components.
+
+        The backend is shared too: every session it opens is an independent
+        object, so concurrent rounds do not interfere (this holds for both the
+        real :class:`~repro.dbms.DatabaseEngine` and the learned simulator).
+        """
+        if num_envs < 1:
+            raise SchedulingError("num_envs must be >= 1")
+        envs = [
+            SchedulingEnv(
+                batch=env.batch,
+                backend=env.backend,
+                scheduler_config=env.scheduler_config,
+                config_space=env.config_space,
+                knowledge=env.knowledge,
+                mask=env.mask,
+                clusters=env.clusters,
+                strategy_name=env.strategy_name,
+            )
+            for _ in range(num_envs)
+        ]
+        return cls(envs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def action_dim(self) -> int:
+        return self.envs[0].action_dim
+
+    @property
+    def clusters(self):
+        return self.envs[0].clusters
+
+    def __len__(self) -> int:
+        return len(self.envs)
+
+    # ------------------------------------------------------------------ #
+    # Lockstep episode control
+    # ------------------------------------------------------------------ #
+    def reset_at(self, index: int, round_id: int | None = None, strategy: str | None = None) -> SchedulingSnapshot:
+        """Start a new round in sub-env ``index`` and return its snapshot."""
+        return self.envs[index].reset(round_id=round_id, strategy=strategy)
+
+    def reset_all(self, round_ids: Sequence[int] | None = None) -> list[SchedulingSnapshot]:
+        """Start a new round in every sub-env; ``round_ids`` aligns by index."""
+        if round_ids is not None and len(round_ids) != self.num_envs:
+            raise SchedulingError("round_ids must provide one id per sub-env")
+        return [
+            env.reset(round_id=None if round_ids is None else round_ids[i])
+            for i, env in enumerate(self.envs)
+        ]
+
+    def masks_for(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Stacked boolean action masks ``(k, action_dim)`` for ``indices``.
+
+        With ``indices=None`` every sub-env contributes a row.
+        """
+        selected = range(self.num_envs) if indices is None else indices
+        return np.stack([self.envs[i].action_mask() for i in selected], axis=0)
+
+    def step_at(self, index: int, action: int) -> StepResult:
+        """Apply one decision in sub-env ``index``."""
+        return self.envs[index].step(action)
+
+    def step_many(self, indices: Sequence[int], actions: Sequence[int]) -> list[StepResult]:
+        """Apply one decision per listed sub-env (aligned by position).
+
+        Simulator-backed, non-cluster sessions take the lockstep path: the
+        clock advances of all sub-envs are interleaved, and simulator
+        predictions needed in the same round are grouped by concurrency
+        degree and served by ONE batched model forward
+        (:meth:`ConcurrentPredictionModel.predict_batched`) — the scalar
+        engine necessarily runs them one at a time.  Other backends (the
+        real DBMS engine) and cluster mode fall back to per-env steps.
+        """
+        if len(indices) != len(actions):
+            raise SchedulingError("indices and actions must align")
+        from .simulator import SimulatedSession
+
+        # Even a single remaining active env stays on the lockstep path, so a
+        # session's dynamics (float32 batched predictions) never depend on
+        # how many peer episodes happen to still be running.
+        if self.clusters is None and all(
+            isinstance(self.envs[i].session, SimulatedSession) for i in indices
+        ):
+            return self._step_many_simulated(indices, actions)
+        return [self.envs[i].step(action) for i, action in zip(indices, actions)]
+
+    def _step_many_simulated(self, indices: Sequence[int], actions: Sequence[int]) -> list[StepResult]:
+        envs = self.envs
+        time_before = [envs[i].begin_step(action) for i, action in zip(indices, actions)]
+        advancing = [i for i in indices if envs[i].needs_advance()]
+        while advancing:
+            groups: dict[tuple[int, int], list] = {}
+            for i in advancing:
+                session = envs[i].session
+                states, features = session.advance_features()
+                key = (id(session.simulator.model), features.shape[0])
+                groups.setdefault(key, []).append((i, states, features))
+            for items in groups.values():
+                model = envs[items[0][0]].session.simulator.model
+                # Singleton groups go through predict_batched too, so a
+                # session's dynamics never depend on how many other sessions
+                # happened to share its concurrency degree this round.
+                stacked = np.stack([features for _, _, features in items], axis=0)
+                logits, times = model.predict_batched(stacked)
+                for (index, states, _), logit_row, time_row in zip(items, logits, times):
+                    envs[index].session.apply_advance(states, logit_row, time_row)
+            advancing = [i for i in advancing if envs[i].needs_advance()]
+        return [envs[i].finish_step(before) for i, before in zip(indices, time_before)]
+
+    def result_at(self, index: int) -> SchedulingResult:
+        """Finished-round result of sub-env ``index``."""
+        return self.envs[index].result()

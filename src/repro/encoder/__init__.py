@@ -2,7 +2,7 @@
 
 from .queryformer import PlanEmbeddingCache, QueryFormer
 from .run_state import QueryRuntimeInfo, QueryStatus, RunStateFeaturizer, SchedulingSnapshot
-from .state import StateEncoder, StateRepresentation
+from .state import BatchedStateRepresentation, StateEncoder, StateRepresentation
 
 __all__ = [
     "PlanEmbeddingCache",
@@ -13,4 +13,5 @@ __all__ = [
     "SchedulingSnapshot",
     "StateEncoder",
     "StateRepresentation",
+    "BatchedStateRepresentation",
 ]

@@ -26,11 +26,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import EncoderConfig
-from ..nn import AttentionEncoder, Linear, MLP, Module, Parameter, Tensor, concatenate
+from ..nn import AttentionEncoder, Linear, MLP, Module, Parameter, Tensor, concatenate, fastinfer
 from ..nn import init as weight_init
 from .run_state import RunStateFeaturizer, SchedulingSnapshot
 
-__all__ = ["StateRepresentation", "StateEncoder"]
+__all__ = ["StateRepresentation", "BatchedStateRepresentation", "StateEncoder"]
 
 
 @dataclass
@@ -51,6 +51,30 @@ class StateRepresentation:
     @property
     def num_queries(self) -> int:
         return self.per_query.shape[0]
+
+
+@dataclass
+class BatchedStateRepresentation:
+    """Output of one stacked encoder forward over B decision instants.
+
+    Attributes
+    ----------
+    per_query:
+        ``(batch, n, state_dim)`` tensor of per-query representations.
+    global_state:
+        ``(batch, state_dim)`` tensor of per-snapshot global representations.
+    """
+
+    per_query: Tensor
+    global_state: Tensor
+
+    @property
+    def batch_size(self) -> int:
+        return self.per_query.shape[0]
+
+    @property
+    def num_queries(self) -> int:
+        return self.per_query.shape[1]
 
 
 class StateEncoder(Module):
@@ -129,6 +153,103 @@ class StateEncoder(Module):
             concatenate([encoded_queries, broadcast_super, broadcast_pool], axis=1)
         )
         return StateRepresentation(per_query=per_query, global_state=global_state)
+
+    def _batch_inputs(
+        self, plan_embeddings: np.ndarray, snapshots: "list[SchedulingSnapshot]"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Shared featurisation for the batched paths.
+
+        Returns ``(inputs, run_features, pooled_all, pooled_running)`` where
+        ``inputs`` is the ``(batch, n, plan+feature)`` token input and the
+        pooled arrays are the fixed-width running-state summaries.
+        """
+        if not snapshots:
+            raise ValueError("encode_batch needs at least one snapshot")
+        run_features = np.stack(
+            [self.run_state_featurizer.featurize_snapshot(snapshot) for snapshot in snapshots], axis=0
+        )
+        batch, num_queries = run_features.shape[0], run_features.shape[1]
+        if plan_embeddings.shape[0] != num_queries:
+            raise ValueError("plan embeddings and snapshots must cover the same queries")
+        plans = np.broadcast_to(plan_embeddings[None, :, :], (batch,) + plan_embeddings.shape)
+        inputs = np.concatenate([plans, run_features], axis=2)
+        pooled_all = np.concatenate([run_features.mean(axis=1), run_features.max(axis=1)], axis=1)
+        pooled_running = np.empty_like(pooled_all)
+        for index, snapshot in enumerate(snapshots):
+            running_ids = snapshot.running_ids
+            if running_ids:
+                pooled_running[index] = self._pool(run_features[index][running_ids])
+            else:
+                pooled_running[index] = 0.0
+        return inputs, run_features, pooled_all, pooled_running
+
+    def encode_batch(
+        self, plan_embeddings: np.ndarray, snapshots: "list[SchedulingSnapshot]"
+    ) -> BatchedStateRepresentation:
+        """Encode B scheduling states with one stacked forward pass.
+
+        All snapshots must cover the same query batch (same ``n``); the plan
+        embeddings are shared across the stack.  This is the vectorized hot
+        path: one 3-D attention + MLP-head forward replaces B sequential
+        :meth:`forward` calls.
+        """
+        inputs, run_features, pooled_all, pooled_running = self._batch_inputs(plan_embeddings, snapshots)
+        batch, num_queries = run_features.shape[0], run_features.shape[1]
+        tokens = self.query_mlp(Tensor(inputs))
+        super_tokens = self.super_query.reshape(1, 1, -1) * Tensor(np.ones((batch, 1, 1)))
+        sequence = concatenate([tokens, super_tokens], axis=1)
+        encoded = self.attention(sequence) if self.use_attention else sequence
+        encoded_queries = encoded[:, :num_queries]
+        encoded_super = encoded[:, num_queries]
+
+        global_state = self.global_mlp(concatenate([encoded_super, Tensor(pooled_all)], axis=1))
+
+        broadcast_super = encoded_super.reshape(batch, 1, -1) * Tensor(np.ones((1, num_queries, 1)))
+        broadcast_pool = Tensor(np.broadcast_to(pooled_running[:, None, :], (batch, num_queries, pooled_running.shape[1])).copy())
+        per_query = self.query_out_mlp(
+            concatenate([encoded_queries, broadcast_super, broadcast_pool], axis=2)
+        )
+        return BatchedStateRepresentation(per_query=per_query, global_state=global_state)
+
+    def encode_batch_arrays(
+        self, plan_embeddings: np.ndarray, snapshots: "list[SchedulingSnapshot]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tape-free twin of :meth:`encode_batch` returning plain arrays.
+
+        Used by action *sampling* during vectorized rollouts, where no
+        gradient is ever needed and the autograd tensor overhead dominates
+        the arithmetic.  Sampling also tolerates reduced precision, so the
+        whole forward runs in float32 (the optimizer and every learning-path
+        forward stay float64).  BatchNorm running statistics are updated as
+        in the tensor forward (see :mod:`repro.nn.fastinfer`).
+        """
+        inputs, run_features, pooled_all, pooled_running = self._batch_inputs(plan_embeddings, snapshots)
+        batch, num_queries = run_features.shape[0], run_features.shape[1]
+        inputs = inputs.astype(np.float32)
+        pooled_all = pooled_all.astype(np.float32)
+        pooled_running = pooled_running.astype(np.float32)
+        tokens = fastinfer.mlp_forward(self.query_mlp, inputs)
+        super_tokens = np.broadcast_to(
+            self.super_query.data.astype(np.float32).reshape(1, 1, -1),
+            (batch, 1, self.super_query.data.shape[1]),
+        )
+        sequence = np.concatenate([tokens, super_tokens], axis=1)
+        encoded = fastinfer.attention_encoder_forward_batched(self.attention, sequence) if self.use_attention else sequence
+        encoded_queries = encoded[:, :num_queries]
+        encoded_super = encoded[:, num_queries]
+
+        global_state = fastinfer.mlp_forward(
+            self.global_mlp, np.concatenate([encoded_super, pooled_all], axis=1)
+        )
+        broadcast_super = np.broadcast_to(encoded_super[:, None, :], encoded_queries.shape)
+        broadcast_pool = np.broadcast_to(
+            pooled_running[:, None, :], (batch, num_queries, pooled_running.shape[1])
+        )
+        per_query = fastinfer.mlp_forward(
+            self.query_out_mlp,
+            np.concatenate([encoded_queries, broadcast_super, broadcast_pool], axis=2),
+        )
+        return per_query, global_state
 
     @staticmethod
     def _pool(features: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ from .layers import (
     Sequential,
 )
 from .attention import AttentionBlock, AttentionEncoder, MultiHeadAttention
+from . import fastinfer
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
 from .serialization import Checkpoint, load_module, save_module
 
@@ -37,6 +38,7 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "fastinfer",
     "cross_entropy",
     "entropy",
     "huber_loss",

@@ -28,6 +28,10 @@ class MultiHeadAttention(Module):
     Input is a ``(tokens, model_dim)`` tensor; output has the same shape.
     An optional additive ``bias`` of shape ``(tokens, tokens)`` is added to
     the attention scores of every head (used for tree-bias attention).
+
+    A 3-D input ``(batch, tokens, model_dim)`` runs one stacked forward over
+    B independent sequences (the vectorized rollout/minibatch path); each
+    element attends only within itself and the optional bias is shared.
     """
 
     def __init__(self, model_dim: int, num_heads: int, rng: np.random.Generator) -> None:
@@ -43,6 +47,8 @@ class MultiHeadAttention(Module):
         self.out_proj = Linear(model_dim, model_dim, rng)
 
     def forward(self, x: Tensor, bias: np.ndarray | None = None) -> Tensor:
+        if x.ndim == 3:
+            return self._forward_batched(x, bias)
         tokens = x.shape[0]
         queries = self.query_proj(x).reshape(tokens, self.num_heads, self.head_dim).transpose(1, 0, 2)
         keys = self.key_proj(x).reshape(tokens, self.num_heads, self.head_dim).transpose(1, 0, 2)
@@ -58,6 +64,24 @@ class MultiHeadAttention(Module):
         weights = scores.softmax(axis=-1)
         mixed = weights @ values
         mixed = mixed.transpose(1, 0, 2).reshape(tokens, self.model_dim)
+        return self.out_proj(mixed)
+
+    def _forward_batched(self, x: Tensor, bias: np.ndarray | None = None) -> Tensor:
+        batch, tokens = x.shape[0], x.shape[1]
+
+        def heads(proj: Linear) -> Tensor:
+            return proj(x).reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        queries, keys, values = heads(self.query_proj), heads(self.key_proj), heads(self.value_proj)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (tokens, tokens):
+                raise ValueError(f"attention bias shape {bias.shape} != ({tokens}, {tokens})")
+            scores = scores + Tensor(bias[None, None, :, :])
+        weights = scores.softmax(axis=-1)
+        mixed = (weights @ values).transpose(0, 2, 1, 3).reshape(batch, tokens, self.model_dim)
         return self.out_proj(mixed)
 
     def attention_weights(self, x: Tensor, bias: np.ndarray | None = None) -> np.ndarray:

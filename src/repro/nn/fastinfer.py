@@ -1,0 +1,245 @@
+"""Tape-free NumPy inference for small modules (the rollout hot path).
+
+Building even a ``no_grad`` forward through :mod:`repro.nn.tensor` allocates
+one :class:`Tensor` per operation, and for the tiny inputs of the rollout hot
+path (a handful of concurrent queries) that Python overhead dwarfs the
+arithmetic.  These helpers evaluate the same modules with raw NumPy, reading
+parameter arrays directly, and are written to be bit-identical to the tensor
+forward: same operation order, same shift-by-max softmax, same ``x * (x > 0)``
+ReLU.
+
+BatchNorm is supported too: its forward mutates running statistics, so
+:func:`batch_norm_forward` replicates that side effect with the exact same
+update expressions as the tensor path — skipping it would silently change
+training behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import AttentionBlock, AttentionEncoder, MultiHeadAttention
+from .layers import MLP, Activation, BatchNorm, LayerNorm, Linear
+
+__all__ = [
+    "linear_forward",
+    "mlp_forward",
+    "layer_norm_forward",
+    "batch_norm_forward",
+    "attention_forward",
+    "attention_forward_batched",
+    "attention_encoder_forward",
+    "attention_encoder_forward_batched",
+    "masked_log_softmax_array",
+    "supports_fast_inference",
+]
+
+
+_F32_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _float32(array: np.ndarray) -> np.ndarray:
+    """Cached ``float32`` copy of a parameter array.
+
+    Keyed by the array's identity and holding a reference to it, so an
+    optimizer step (which installs fresh arrays) can never alias a stale
+    entry; the cache is rebuilt lazily after each update.
+    """
+    entry = _F32_CACHE.get(id(array))
+    if entry is not None and entry[0] is array:
+        return entry[1]
+    copy = array.astype(np.float32)
+    if len(_F32_CACHE) > 4096:
+        _F32_CACHE.clear()
+    _F32_CACHE[id(array)] = (array, copy)
+    return copy
+
+
+def _param(array: np.ndarray, like: np.ndarray) -> np.ndarray:
+    """Parameter array in the working dtype of ``like`` (float32 fast path)."""
+    return _float32(array) if like.dtype == np.float32 else array
+
+
+def linear_forward(layer: Linear, x: np.ndarray) -> np.ndarray:
+    """``y = x W + b`` without tape bookkeeping (dtype follows ``x``)."""
+    out = x @ _param(layer.weight.data, x)
+    if layer.bias is not None:
+        out = out + _param(layer.bias.data, x)
+    return out
+
+
+_ACTIVATIONS = {
+    "tanh": np.tanh,
+    "relu": lambda x: x * (x > 0),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "identity": lambda x: x,
+}
+
+
+def mlp_forward(mlp: MLP, x: np.ndarray) -> np.ndarray:
+    """Evaluate an :class:`MLP` (Linear/Activation stack) with raw NumPy."""
+    for module in mlp.net:
+        if isinstance(module, Linear):
+            x = linear_forward(module, x)
+        elif isinstance(module, Activation):
+            x = _ACTIVATIONS[module.name](x)
+        else:  # pragma: no cover - MLP only builds the two kinds above
+            raise TypeError(f"unsupported module in MLP fast path: {type(module).__name__}")
+    return x
+
+
+def layer_norm_forward(norm: LayerNorm, x: np.ndarray) -> np.ndarray:
+    """Layer normalisation over the last axis, matching the tensor forward.
+
+    ``Tensor.mean`` evaluates ``sum * (1/n)``, so the same expression is used
+    here (rather than ``np.mean``) to stay bit-identical.
+    """
+    inv_count = 1.0 / x.shape[-1]
+    mu = x.sum(axis=-1, keepdims=True) * inv_count
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+    normed = centered / ((var + norm.eps) ** 0.5)
+    return normed * _param(norm.gamma.data, x) + _param(norm.beta.data, x)
+
+
+def batch_norm_forward(norm: BatchNorm, x: np.ndarray) -> np.ndarray:
+    """BatchNorm forward, replicating the tensor path *including* the
+    running-statistics update (``Tensor.mean`` = ``sum * (1/n)``).
+
+    Running statistics are always accumulated in float64, even when the
+    working dtype is float32 (the vectorized sampling path).
+    """
+    if x.ndim == 3:
+        if norm.training and x.shape[1] > 1:
+            inv_count = 1.0 / x.shape[1]
+            mu = x.sum(axis=1, keepdims=True) * inv_count
+            centered = x - mu
+            var = (centered * centered).sum(axis=1, keepdims=True) * inv_count
+            batch_mean = mu.reshape(x.shape[0], -1).mean(axis=0, dtype=np.float64)
+            batch_var = var.reshape(x.shape[0], -1).mean(axis=0, dtype=np.float64)
+            norm.running_mean = (1 - norm.momentum) * norm.running_mean + norm.momentum * batch_mean
+            norm.running_var = (1 - norm.momentum) * norm.running_var + norm.momentum * batch_var
+        else:
+            mu = _param(norm.running_mean, x).reshape(1, 1, -1)
+            var = _param(norm.running_var, x).reshape(1, 1, -1)
+    else:
+        if norm.training and x.shape[0] > 1:
+            inv_count = 1.0 / x.shape[0]
+            mu = x.sum(axis=0, keepdims=True) * inv_count
+            centered = x - mu
+            var = (centered * centered).sum(axis=0, keepdims=True) * inv_count
+            norm.running_mean = (1 - norm.momentum) * norm.running_mean + norm.momentum * mu.reshape(-1).astype(np.float64)
+            norm.running_var = (1 - norm.momentum) * norm.running_var + norm.momentum * var.reshape(-1).astype(np.float64)
+        else:
+            mu = _param(norm.running_mean, x).reshape(1, -1)
+            var = _param(norm.running_var, x).reshape(1, -1)
+    normed = (x - mu) / ((var + norm.eps) ** 0.5)
+    return normed * _param(norm.gamma.data, x) + _param(norm.beta.data, x)
+
+
+def _norm_forward(norm, x: np.ndarray) -> np.ndarray:
+    if isinstance(norm, LayerNorm):
+        return layer_norm_forward(norm, x)
+    if isinstance(norm, BatchNorm):
+        return batch_norm_forward(norm, x)
+    raise TypeError(f"unsupported norm in fast path: {type(norm).__name__}")
+
+
+def attention_forward(attention: MultiHeadAttention, x: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Multi-head self-attention over one ``(tokens, model_dim)`` sequence."""
+    tokens = x.shape[0]
+    heads, head_dim = attention.num_heads, attention.head_dim
+    qkv_weight, qkv_bias = _fused_qkv(attention)
+    qkv = (x @ _param(qkv_weight, x) + _param(qkv_bias, x)).reshape(tokens, 3, heads, head_dim)
+    queries = qkv[:, 0].transpose(1, 0, 2)
+    keys = qkv[:, 1].transpose(1, 0, 2)
+    values = qkv[:, 2].transpose(1, 0, 2)
+    scores = (queries @ keys.transpose(0, 2, 1)) * (1.0 / float(np.sqrt(head_dim)))
+    if bias is not None:
+        scores = scores + np.asarray(bias, dtype=np.float64)[None, :, :]
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    weights = exp / exp.sum(axis=-1, keepdims=True)
+    mixed = (weights @ values).transpose(1, 0, 2).reshape(tokens, attention.model_dim)
+    return linear_forward(attention.out_proj, mixed)
+
+
+def _fused_qkv(attention: MultiHeadAttention) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated ``(model_dim, 3*model_dim)`` Q/K/V projection.
+
+    Cached on the module keyed by the identity of the source arrays; the
+    cache holds references to them, so after an optimizer step (which
+    installs fresh arrays) the ids cannot be reused and the fusion rebuilds.
+    """
+    projections = (attention.query_proj, attention.key_proj, attention.value_proj)
+    sources = tuple(p.weight.data for p in projections) + tuple(p.bias.data for p in projections)
+    key = tuple(id(array) for array in sources)
+    cached = getattr(attention, "_fastinfer_qkv", None)
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2]
+    weight = np.concatenate([p.weight.data for p in projections], axis=1)
+    bias = np.concatenate([p.bias.data for p in projections], axis=0)
+    attention._fastinfer_qkv = (key, weight, bias, sources)
+    return weight, bias
+
+
+def attention_forward_batched(
+    attention: MultiHeadAttention, x: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Multi-head self-attention over ``(batch, tokens, model_dim)`` stacks."""
+    batch, tokens = x.shape[0], x.shape[1]
+    heads, head_dim = attention.num_heads, attention.head_dim
+    qkv_weight, qkv_bias = _fused_qkv(attention)
+    qkv = (x @ _param(qkv_weight, x) + _param(qkv_bias, x)).reshape(batch, tokens, 3, heads, head_dim)
+    queries = qkv[:, :, 0].transpose(0, 2, 1, 3)
+    keys = qkv[:, :, 1].transpose(0, 2, 1, 3)
+    values = qkv[:, :, 2].transpose(0, 2, 1, 3)
+    scores = (queries @ keys.transpose(0, 1, 3, 2)) * (1.0 / float(np.sqrt(head_dim)))
+    if bias is not None:
+        scores = scores + np.asarray(bias, dtype=x.dtype)[None, None, :, :]
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    mixed = (scores @ values).transpose(0, 2, 1, 3).reshape(batch, tokens, attention.model_dim)
+    return linear_forward(attention.out_proj, mixed)
+
+
+def _block_forward(block: AttentionBlock, x: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+    mha = attention_forward_batched if x.ndim == 3 else attention_forward
+    attended = _norm_forward(block.norm1, x + mha(block.attention, x, bias))
+    return _norm_forward(block.norm2, attended + mlp_forward(block.feedforward, attended))
+
+
+def attention_encoder_forward(
+    encoder: AttentionEncoder, x: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Evaluate an :class:`AttentionEncoder` stack with raw NumPy."""
+    for index in range(encoder.num_layers):
+        x = _block_forward(encoder._modules[f"block_{index}"], x, bias)
+    return x
+
+
+attention_encoder_forward_batched = attention_encoder_forward
+
+
+def masked_log_softmax_array(logits: np.ndarray, mask: np.ndarray, mask_value: float = -1e8) -> np.ndarray:
+    """NumPy twin of :func:`repro.nn.masked_log_softmax` (last-axis rows)."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != logits.shape:
+        raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
+    if not np.all(mask.any(axis=-1)):
+        raise ValueError("masked_log_softmax requires at least one unmasked entry")
+    zero = logits.dtype.type(0.0)
+    shifted = logits + np.where(mask, zero, logits.dtype.type(mask_value))
+    shifted = shifted - shifted.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def supports_fast_inference(encoder: AttentionEncoder) -> bool:
+    """Whether every block of ``encoder`` uses a norm the fast path covers."""
+    for index in range(encoder.num_layers):
+        block = encoder._modules[f"block_{index}"]
+        for norm in (block.norm1, block.norm2):
+            if not isinstance(norm, (LayerNorm, BatchNorm)):
+                return False
+    return True

@@ -92,7 +92,7 @@ def masked_log_softmax(logits: Tensor, mask: np.ndarray, mask_value: float = -1e
     mask = np.asarray(mask, dtype=bool)
     if mask.shape != logits.shape:
         raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
-    if not mask.any():
+    if not np.all(mask.any(axis=-1)):
         raise ValueError("masked_log_softmax requires at least one unmasked entry")
     offset = np.where(mask, 0.0, mask_value)
     return (logits + Tensor(offset)).log_softmax(axis=-1)

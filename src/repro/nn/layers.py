@@ -238,6 +238,10 @@ class BatchNorm(Module):
     The paper applies BN after each attention sub-layer.  Because our state
     batches are small (one per scheduling step) we normalise over the token
     dimension of a single state, which plays the same stabilising role.
+
+    A 3-D input ``(batch, tokens, features)`` is treated as a stack of
+    independent states: each element is normalised over its own token axis,
+    so a batched forward over B states matches B single-state forwards.
     """
 
     def __init__(self, features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
@@ -259,6 +263,8 @@ class BatchNorm(Module):
         self.training = True
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            return self._forward_batched(x)
         if self.training and x.shape[0] > 1:
             mu = x.mean(axis=0, keepdims=True)
             var = x.var(axis=0, keepdims=True)
@@ -267,6 +273,25 @@ class BatchNorm(Module):
         else:
             mu = Tensor(self.running_mean.reshape(1, -1))
             var = Tensor(self.running_var.reshape(1, -1))
+        normed = (x - mu) / ((var + self.eps) ** 0.5)
+        return normed * self.gamma + self.beta
+
+    def _forward_batched(self, x: Tensor) -> Tensor:
+        """Per-element token-axis normalisation for ``(batch, tokens, features)``.
+
+        Running statistics are updated with the mean of the per-element batch
+        statistics, so a batch of one updates them exactly like the 2-D path.
+        """
+        if self.training and x.shape[1] > 1:
+            mu = x.mean(axis=1, keepdims=True)
+            var = x.var(axis=1, keepdims=True)
+            batch_mean = mu.data.reshape(x.shape[0], -1).mean(axis=0)
+            batch_var = var.data.reshape(x.shape[0], -1).mean(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+        else:
+            mu = Tensor(self.running_mean.reshape(1, 1, -1))
+            var = Tensor(self.running_var.reshape(1, 1, -1))
         normed = (x - mu) / ((var + self.eps) ** 0.5)
         return normed * self.gamma + self.beta
 

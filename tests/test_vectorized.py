@@ -1,0 +1,466 @@
+"""Tests for the vectorized rollout engine and batched policy training.
+
+Covers the four layers of the vectorized execution spine:
+
+* ``VectorSchedulingEnv`` (lockstep stepping, stacked action masks);
+* batched state encoding and batched policy forwards vs their scalar twins;
+* ``RolloutBuffer`` interleaved-episode bookkeeping and GAE;
+* ``PPOTrainer`` dispatch — the ``num_envs=1`` path must stay bit-identical
+  to the legacy sequential implementation, and the batched PPO update must
+  match the per-transition update numerically.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.config import PPOConfig
+from repro.core import (
+    BQSched,
+    IQPPOTrainer,
+    LSchedScheduler,
+    PPGTrainer,
+    PPOTrainer,
+    RolloutBuffer,
+    Transition,
+    VectorSchedulingEnv,
+)
+from repro.dbms import QueryExecutionRecord, RoundLog, RunningParameters
+from repro.encoder import QueryRuntimeInfo, QueryStatus, SchedulingSnapshot
+from repro.exceptions import SchedulingError
+from repro.nn import no_grad
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    """A small BQSched instance with a trained simulator backend."""
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 4
+    config.ppo = PPOConfig(
+        rollouts_per_update=4, epochs_per_update=2, minibatch_size=16, aux_every=1, aux_epochs=1
+    )
+    scheduler = BQSched(workload, engine, config)
+    scheduler.prepare(history_rounds=2)
+    return scheduler
+
+
+@pytest.fixture()
+def sim_env(sim_setup):
+    return sim_setup._build_env(backend=sim_setup.simulator)
+
+
+# --------------------------------------------------------------------- #
+# VectorSchedulingEnv
+# --------------------------------------------------------------------- #
+class TestVectorSchedulingEnv:
+    def test_from_template_clones_components(self, sim_setup, sim_env):
+        vec = VectorSchedulingEnv.from_template(sim_env, 3)
+        assert vec.num_envs == 3
+        assert vec.action_dim == sim_env.action_dim
+        assert all(env.batch is sim_env.batch for env in vec.envs)
+        assert all(env.backend is sim_env.backend for env in vec.envs)
+        assert len({id(env) for env in vec.envs}) == 3
+
+    def test_rejects_empty_and_bad_counts(self, sim_env):
+        with pytest.raises(SchedulingError):
+            VectorSchedulingEnv([])
+        with pytest.raises(SchedulingError):
+            VectorSchedulingEnv.from_template(sim_env, 0)
+
+    def test_mask_stacking_matches_sub_envs(self, sim_env):
+        vec = VectorSchedulingEnv.from_template(sim_env, 4)
+        vec.reset_all(round_ids=[0, 1, 2, 3])
+        masks = vec.masks_for()
+        assert masks.shape == (4, sim_env.action_dim)
+        assert masks.dtype == bool
+        for index, env in enumerate(vec.envs):
+            np.testing.assert_array_equal(masks[index], env.action_mask())
+        # Desynchronise env 1 and re-stack a subset: rows must track each
+        # env's own pending set.
+        action = int(np.flatnonzero(masks[1])[0])
+        vec.step_at(1, action)
+        subset = vec.masks_for([1, 3])
+        np.testing.assert_array_equal(subset[0], vec.envs[1].action_mask())
+        np.testing.assert_array_equal(subset[1], vec.envs[3].action_mask())
+        assert not np.array_equal(subset[0], masks[1])
+
+    def test_lockstep_steps_match_sequential_steps(self, sim_setup, sim_env):
+        """The batched-advance lockstep path must reproduce per-env stepping."""
+        vec = VectorSchedulingEnv.from_template(sim_env, 2)
+        seq = VectorSchedulingEnv.from_template(sim_env, 2)
+        vec.reset_all(round_ids=[7, 8])
+        seq.reset_all(round_ids=[7, 8])
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            masks = vec.masks_for()
+            actions = [int(rng.choice(np.flatnonzero(masks[i]))) for i in range(2)]
+            batched = vec.step_many([0, 1], actions)
+            sequential = [seq.envs[i].step(a) for i, a in zip([0, 1], actions)]
+            for b, s in zip(batched, sequential):
+                assert b.done == s.done
+                assert b.reward == pytest.approx(s.reward, abs=1e-4)
+                assert b.snapshot.time == pytest.approx(s.snapshot.time, abs=1e-4)
+
+    def test_step_many_validates_alignment(self, sim_env):
+        vec = VectorSchedulingEnv.from_template(sim_env, 2)
+        vec.reset_all()
+        with pytest.raises(SchedulingError):
+            vec.step_many([0, 1], [0])
+
+
+# --------------------------------------------------------------------- #
+# Batched encoder / policy forwards
+# --------------------------------------------------------------------- #
+class TestBatchedPolicyForwards:
+    def _snapshots(self, env, rng, count=4):
+        snapshots, masks = [], []
+        snapshot = env.reset(round_id=50)
+        for _ in range(count):
+            mask = env.action_mask()
+            snapshots.append(snapshot)
+            masks.append(mask)
+            snapshot = env.step(int(rng.choice(np.flatnonzero(mask)))).snapshot
+        return snapshots, np.stack(masks)
+
+    def test_encode_batch_matches_scalar_forward(self, sim_setup, sim_env):
+        rng = np.random.default_rng(1)
+        snapshots, _ = self._snapshots(sim_env, rng)
+        encoder = sim_setup.state_encoder
+        with no_grad():
+            batched = encoder.encode_batch(sim_setup.plan_embeddings, snapshots)
+            for index, snapshot in enumerate(snapshots):
+                scalar = encoder(sim_setup.plan_embeddings, snapshot)
+                np.testing.assert_allclose(batched.per_query.data[index], scalar.per_query.data, atol=1e-10)
+                np.testing.assert_allclose(batched.global_state.data[index], scalar.global_state.data, atol=1e-10)
+
+    def test_evaluate_actions_batch_matches_scalar(self, sim_setup, sim_env):
+        rng = np.random.default_rng(2)
+        snapshots, masks = self._snapshots(sim_env, rng)
+        policy = sim_setup.policy
+        actions = np.array([int(np.flatnonzero(m)[0]) for m in masks])
+        with no_grad():
+            log_probs, entropies, values, full = policy.evaluate_actions_batch(
+                sim_setup.plan_embeddings, snapshots, actions, masks
+            )
+            for index, snapshot in enumerate(snapshots):
+                lp, ent, val, row = policy.evaluate_action(
+                    sim_setup.plan_embeddings, snapshot, int(actions[index]), masks[index]
+                )
+                assert float(log_probs.data[index]) == pytest.approx(float(lp.data), abs=1e-10)
+                assert float(entropies.data[index]) == pytest.approx(float(ent.data), abs=1e-10)
+                assert float(values.data[index]) == pytest.approx(float(val.data[0]), abs=1e-10)
+                np.testing.assert_allclose(full.data[index], row.data, atol=1e-10)
+
+    def test_act_batch_matches_scalar_act(self, sim_setup, sim_env):
+        """The float32 sampling path must agree with the scalar tensor path."""
+        rng = np.random.default_rng(3)
+        snapshots, masks = self._snapshots(sim_env, rng)
+        policy = sim_setup.policy
+        batched = policy.act_batch(
+            sim_setup.plan_embeddings, snapshots, masks, np.random.default_rng(0), greedy=True
+        )
+        for index, snapshot in enumerate(snapshots):
+            scalar = policy.act(
+                sim_setup.plan_embeddings, snapshot, masks[index], np.random.default_rng(0), greedy=True
+            )
+            assert batched[index].action == scalar.action
+            assert batched[index].log_prob == pytest.approx(scalar.log_prob, abs=1e-4)
+            assert batched[index].value == pytest.approx(scalar.value, abs=1e-3)
+
+    def test_act_batch_respects_masks(self, sim_setup, sim_env):
+        rng = np.random.default_rng(4)
+        snapshots, masks = self._snapshots(sim_env, rng)
+        constrained = np.zeros_like(masks)
+        allowed = [int(np.flatnonzero(m)[-1]) for m in masks]
+        for row, action in enumerate(allowed):
+            constrained[row, action] = True
+        decisions = sim_setup.policy.act_batch(
+            sim_setup.plan_embeddings, snapshots, constrained, np.random.default_rng(0)
+        )
+        assert [d.action for d in decisions] == allowed
+
+    def test_gradients_flow_through_batched_evaluation(self, sim_setup, sim_env):
+        rng = np.random.default_rng(5)
+        snapshots, masks = self._snapshots(sim_env, rng)
+        policy = sim_setup.policy
+        actions = np.array([int(np.flatnonzero(m)[0]) for m in masks])
+        log_probs, entropies, values, _ = policy.evaluate_actions_batch(
+            sim_setup.plan_embeddings, snapshots, actions, masks
+        )
+        loss = (log_probs * -1.0).mean() + (values * values).mean() - entropies.mean() * 0.01
+        policy.zero_grad()
+        loss.backward()
+        assert any(p.grad is not None and np.abs(p.grad).max() > 0 for p in policy.parameters())
+
+
+# --------------------------------------------------------------------- #
+# RolloutBuffer interleaved episodes
+# --------------------------------------------------------------------- #
+class TestInterleavedRolloutBuffer:
+    def _transition(self, step, done):
+        infos = tuple(
+            QueryRuntimeInfo(i, QueryStatus.RUNNING, config_index=0, elapsed=0.1, expected_time=1.0)
+            for i in range(3)
+        )
+        return Transition(
+            snapshot=SchedulingSnapshot(time=float(step), infos=infos),
+            action=step,
+            log_prob=-1.0,
+            value=0.25 * step,
+            reward=-1.0 - 0.1 * step,
+            done=done,
+            mask=np.ones(12, dtype=bool),
+            time=float(step),
+        )
+
+    def _round_log(self):
+        log = RoundLog(round_id=0)
+        for i in range(3):
+            log.add(
+                QueryExecutionRecord(
+                    query_id=i, query_name=f"q{i}", template_id=i, connection=0,
+                    parameters=RunningParameters(1, 64), submit_time=0.0, finish_time=10.0 + i,
+                )
+            )
+        return log
+
+    def test_interleaved_episodes_match_sequential_gae(self):
+        steps_a = [self._transition(s, s == 3) for s in range(4)]
+        steps_b = [self._transition(s, s == 2) for s in range(3)]
+
+        interleaved = RolloutBuffer(gamma=0.9, gae_lambda=0.8)
+        for transition in steps_a[:2]:
+            interleaved.add(copy.deepcopy(transition), env_index=0)
+        for transition in steps_b[:2]:
+            interleaved.add(copy.deepcopy(transition), env_index=1)
+        interleaved.add(copy.deepcopy(steps_b[2]), env_index=1)
+        interleaved.finish_episode(self._round_log(), makespan=12.0, env_index=1)
+        for transition in steps_a[2:]:
+            interleaved.add(copy.deepcopy(transition), env_index=0)
+        interleaved.finish_episode(self._round_log(), makespan=13.0, env_index=0)
+
+        sequential = RolloutBuffer(gamma=0.9, gae_lambda=0.8)
+        for transition in steps_b:
+            sequential.add(copy.deepcopy(transition))
+        sequential.finish_episode(self._round_log(), makespan=12.0)
+        for transition in steps_a:
+            sequential.add(copy.deepcopy(transition))
+        sequential.finish_episode(self._round_log(), makespan=13.0)
+
+        assert len(interleaved) == len(sequential) == 7
+        inter = {(len(e.transitions), e.makespan): e for e in interleaved.episodes}
+        for episode in sequential.episodes:
+            twin = inter[(len(episode.transitions), episode.makespan)]
+            for a, b in zip(episode.transitions, twin.transitions):
+                assert a.advantage == pytest.approx(b.advantage)
+                assert a.value_target == pytest.approx(b.value_target)
+                assert a.aux_query_id == b.aux_query_id
+                assert a.aux_target == pytest.approx(b.aux_target)
+
+    def test_in_flight_bookkeeping(self):
+        buffer = RolloutBuffer()
+        buffer.add(self._transition(0, False), env_index=0)
+        buffer.add(self._transition(0, False), env_index=2)
+        assert buffer.num_in_flight() == 2
+        buffer.add(self._transition(1, True), env_index=0)
+        buffer.finish_episode(self._round_log(), makespan=5.0, env_index=0)
+        assert buffer.num_in_flight() == 1
+        assert len(buffer.episodes) == 1
+
+    def test_finish_episode_requires_transitions(self):
+        buffer = RolloutBuffer()
+        buffer.add(self._transition(0, True), env_index=1)
+        with pytest.raises(SchedulingError):
+            buffer.finish_episode(self._round_log(), makespan=1.0, env_index=0)
+
+
+# --------------------------------------------------------------------- #
+# Trainer dispatch and parity
+# --------------------------------------------------------------------- #
+class TestTrainerParity:
+    def _legacy_collect(self, trainer, num_episodes):
+        """A literal re-implementation of the pre-refactor sequential loop."""
+        buffer = RolloutBuffer(gamma=trainer.config.gamma, gae_lambda=trainer.config.gae_lambda)
+        clusters = trainer.env.clusters
+        for _ in range(num_episodes):
+            snapshot = trainer.env.reset(round_id=trainer._round_counter)
+            trainer._round_counter += 1
+            done = False
+            while not done:
+                mask = trainer.env.action_mask()
+                decision = trainer.policy.act(
+                    trainer.plan_embeddings, snapshot, mask, trainer.rng, greedy=False, clusters=clusters
+                )
+                step = trainer.env.step(decision.action)
+                buffer.add(
+                    Transition(
+                        snapshot=snapshot, action=decision.action, log_prob=decision.log_prob,
+                        value=decision.value, reward=step.reward, done=step.done, mask=mask,
+                        time=snapshot.time,
+                    )
+                )
+                snapshot = step.snapshot
+                done = step.done
+            result = trainer.env.result()
+            buffer.finish_episode(result.round_log, result.makespan)
+        return buffer
+
+    def _make_trainer(self, scheduler, env, num_envs):
+        config = copy.deepcopy(scheduler.config.ppo)
+        config.num_envs = num_envs
+        return PPOTrainer(
+            policy=scheduler.policy,
+            plan_embeddings=scheduler.plan_embeddings,
+            env=env,
+            config=config,
+            seed=scheduler.config.seed,
+        )
+
+    def test_num_envs_1_is_bit_identical_to_legacy_loop(self, sim_setup, sim_env):
+        new_path = self._make_trainer(sim_setup, sim_env, num_envs=1)
+        legacy = self._make_trainer(sim_setup, sim_setup._build_env(backend=sim_setup.simulator), num_envs=1)
+        assert not new_path.vectorized and new_path.vec_env is None
+        got = new_path.collect_rollouts(2)
+        expected = self._legacy_collect(legacy, 2)
+        assert len(got) == len(expected)
+        assert got.episode_makespans() == expected.episode_makespans()
+        for a, b in zip(got.transitions(), expected.transitions()):
+            assert a.action == b.action
+            assert a.log_prob == b.log_prob
+            assert a.value == b.value
+            assert a.reward == b.reward
+            assert a.advantage == b.advantage
+            assert a.value_target == b.value_target
+            np.testing.assert_array_equal(a.mask, b.mask)
+
+    def test_batched_update_matches_scalar_update(self, sim_setup, sim_env):
+        scalar_trainer = self._make_trainer(sim_setup, sim_env, num_envs=1)
+        buffer = scalar_trainer.collect_rollouts(2)
+        state = sim_setup.policy.state_dict()
+
+        scalar_trainer.rng = np.random.default_rng(123)  # identical minibatch draws
+        scalar_losses = scalar_trainer.update(copy.deepcopy(buffer))
+        scalar_params = sim_setup.policy.state_dict()
+
+        sim_setup.policy.load_state_dict(state)
+        batched_trainer = self._make_trainer(sim_setup, sim_env, num_envs=2)
+        batched_trainer.rng = np.random.default_rng(123)
+        batched_losses = batched_trainer.update(copy.deepcopy(buffer))
+        batched_params = sim_setup.policy.state_dict()
+        sim_setup.policy.load_state_dict(state)
+
+        assert batched_losses["policy_loss"] == pytest.approx(scalar_losses["policy_loss"], abs=1e-8)
+        assert batched_losses["value_loss"] == pytest.approx(scalar_losses["value_loss"], abs=1e-8)
+        for name in scalar_params:
+            np.testing.assert_allclose(batched_params[name], scalar_params[name], atol=1e-8)
+
+    def test_vectorized_collection_fills_episode_budget(self, sim_setup, sim_env):
+        trainer = self._make_trainer(sim_setup, sim_env, num_envs=4)
+        assert trainer.vectorized and trainer.vec_env.num_envs == 4
+        for budget in (2, 4, 7):
+            buffer = trainer.collect_rollouts(budget)
+            assert len(buffer.episodes) == budget
+            assert buffer.num_in_flight() == 0
+            assert all(e.transitions[-1].done for e in buffer.episodes)
+            assert all(e.makespan > 0 for e in buffer.episodes)
+
+    def test_vectorized_aux_phases_run(self, sim_setup, sim_env):
+        for cls in (PPGTrainer, IQPPOTrainer):
+            config = copy.deepcopy(sim_setup.config.ppo)
+            config.num_envs = 3
+            trainer = cls(
+                policy=sim_setup.policy,
+                plan_embeddings=sim_setup.plan_embeddings,
+                env=sim_setup._build_env(backend=sim_setup.simulator),
+                config=config,
+                seed=0,
+            )
+            buffer = trainer.collect_rollouts(3)
+            loss = trainer.auxiliary_phase(buffer)
+            assert np.isfinite(loss)
+
+    def test_vectorized_training_improves_or_completes(self, sim_setup, sim_env):
+        trainer = self._make_trainer(sim_setup, sim_env, num_envs=4)
+        history = trainer.train(num_updates=2, eval_every=0)
+        assert len(history.train_makespans) >= 2
+        assert all(np.isfinite(m) for m in history.train_makespans)
+
+
+# --------------------------------------------------------------------- #
+# Simulator fast inference
+# --------------------------------------------------------------------- #
+class TestSimulatorFastInference:
+    def test_predict_bit_identical_to_forward(self, sim_setup):
+        simulator = sim_setup.simulator
+        features = simulator._features(
+            [0, 1, 2], [sim_setup.config_space.default] * 3, [0.1, 0.7, 1.3]
+        )
+        with no_grad():
+            logits, times = simulator.model(features)
+        fast_logits, fast_times = simulator.model.predict(features)
+        np.testing.assert_array_equal(fast_logits, logits.data)
+        np.testing.assert_array_equal(fast_times, times.data)
+
+    def test_predict_batched_matches_predict(self, sim_setup):
+        simulator = sim_setup.simulator
+        features = simulator._features(
+            [0, 1, 2, 3], [sim_setup.config_space.default] * 4, [0.2, 0.4, 0.6, 0.8]
+        )
+        other = simulator._features(
+            [4, 5, 6, 7], [sim_setup.config_space.default] * 4, [1.2, 1.4, 1.6, 1.8]
+        )
+        logits, times = simulator.model.predict_batched(np.stack([features, other], axis=0))
+        for row, feats in enumerate((features, other)):
+            ref_logits, ref_times = simulator.model.predict(feats)
+            np.testing.assert_allclose(logits[row], ref_logits, atol=1e-4)
+            np.testing.assert_allclose(times[row], ref_times, atol=1e-4)
+
+
+# --------------------------------------------------------------------- #
+# Environment round-id bookkeeping (satellite fix)
+# --------------------------------------------------------------------- #
+class TestResetRoundCounter:
+    def test_explicit_round_id_does_not_clobber_counter(self, sim_env):
+        sim_env.reset()  # auto round 0
+        assert sim_env.session.log.round_id == 0
+        sim_env.reset(round_id=10_000)  # evaluation round
+        assert sim_env.session.log.round_id == 10_000
+        sim_env.reset()  # auto-numbering continues where it left off
+        assert sim_env.session.log.round_id == 1
+        sim_env.reset()
+        assert sim_env.session.log.round_id == 2
+
+
+# --------------------------------------------------------------------- #
+# Facade wiring
+# --------------------------------------------------------------------- #
+class TestFacadeWiring:
+    def test_pretraining_uses_parallel_envs_by_default(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        config = BQSchedConfig.small(seed=0)
+        config.ppo.rollouts_per_update = 4
+        scheduler = LSchedScheduler(workload, engine, config)
+        trainer = scheduler._make_trainer(scheduler.env, num_envs=4)
+        assert trainer.vectorized
+        assert trainer.config.num_envs == 4
+        # The facade config object itself is untouched by the override.
+        assert scheduler.config.ppo.num_envs == 1
+
+    def test_pretrain_env_count_capped_by_episode_budget(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        config = BQSchedConfig.small(seed=0)
+        config.ppo.rollouts_per_update = 1
+        scheduler = BQSched(workload, engine, config)
+        cap = max(
+            scheduler.config.ppo.num_envs,
+            min(scheduler.pretrain_num_envs, scheduler.config.ppo.rollouts_per_update),
+        )
+        assert cap == 1  # no point spinning up envs that never start an episode
