@@ -7,9 +7,7 @@ runs a reduced grid (RL only at the smallest point of each axis).
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, evaluate_heuristics, evaluate_rl, paper_values, print_table
+from repro.bench import Scenario, evaluate_heuristics, evaluate_rl, print_table, write_json_report
 from repro.core import BQSched
 
 
@@ -61,6 +59,7 @@ def test_fig5_scalability(benchmark, profile):
             all_rows,
             title="Figure 5 — scalability (paper: BQSched improves FIFO by 13-61% across scales)",
         )
+        write_json_report("fig5_scalability", {"rows": all_rows, "shape_checks": all_shapes})
         return all_shapes
 
     shapes = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -7,9 +7,7 @@ less than training LSched.  We measure wall-clock seconds of each phase.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, paper_values, print_table
+from repro.bench import Scenario, paper_values, print_table, write_json_report
 from repro.core import BQSched, LSchedScheduler
 
 
@@ -56,6 +54,7 @@ def _run(profile):
             f"time; ratios: {paper_values.FIG6_TRAINING_COST})"
         ),
     )
+    write_json_report("fig6_training_cost", {"timings": rows})
     return rows
 
 

@@ -8,9 +8,7 @@ attention and PPG.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, paper_values, print_table
+from repro.bench import Scenario, paper_values, print_table, write_json_report
 from repro.core import BQSched
 
 
@@ -64,6 +62,7 @@ def _run(profile):
         rows,
         title="Figure 7 — ablation of state representation, IQ-PPO and masking",
     )
+    write_json_report("fig7_ablation", {"measured": measured, "relative": {k: v / base for k, v in measured.items()}})
     return measured
 
 

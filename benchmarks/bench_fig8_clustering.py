@@ -8,9 +8,7 @@ clustering.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, paper_values, print_table
+from repro.bench import Scenario, paper_values, print_table, write_json_report
 from repro.core import BQSched
 
 
@@ -48,6 +46,7 @@ def _run(profile):
             f"(paper improvement over no clustering: {paper_values.FIG8_CLUSTERING_IMPROVEMENT})"
         ),
     )
+    write_json_report("fig8_clustering", {"measured": measured, "query_scale": query_scale})
     return measured
 
 

@@ -10,9 +10,8 @@ the schedule.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.bench import Scenario, print_table, render_gantt
+from repro.bench import Scenario, print_table, render_gantt, write_json_report
 from repro.core import BQSched, FIFOScheduler
 
 
@@ -34,6 +33,14 @@ def _run(profile):
         ["strategy", "makespan (s)"],
         [["BQSched (learned plan)", f"{result.makespan:.2f}"], ["FIFO", f"{fifo.makespan:.2f}"]],
         title="Figure 9 — case study on TPC-DS with DBMS-X",
+    )
+    write_json_report(
+        "fig9_case_study",
+        {
+            "bqsched_makespan": result.makespan,
+            "fifo_makespan": fifo.makespan,
+            "num_queries": result.num_queries,
+        },
     )
     return scheduler, result
 

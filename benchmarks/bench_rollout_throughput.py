@@ -22,7 +22,7 @@ import time
 import numpy as np
 
 from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
-from repro.bench import print_table
+from repro.bench import print_table, write_json_report
 from repro.core import BQSched
 
 
@@ -81,6 +81,17 @@ def main() -> int:
     target = 3.0
     verdict = "PASS" if speedup >= target else "BELOW TARGET"
     print(f"vectorized speedup {speedup:.2f}x vs scalar (target >= {target:.0f}x): {verdict}")
+    write_json_report(
+        "rollout_throughput",
+        {
+            "scalar_steps_per_sec": scalar_rate,
+            "vectorized_steps_per_sec": vector_rate,
+            "num_envs": args.num_envs,
+            "speedup": speedup,
+            "target": target,
+            "verdict": verdict,
+        },
+    )
     return 0 if speedup >= target else 1
 
 

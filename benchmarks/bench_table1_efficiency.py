@@ -8,9 +8,7 @@ whole grid.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, paper_values, print_table, run_strategy_comparison
+from repro.bench import Scenario, paper_values, print_table, run_strategy_comparison, write_json_report
 
 
 def _run(profile, dbms_list, include_rl):
@@ -39,6 +37,8 @@ def _run(profile, dbms_list, include_rl):
         rows,
         title="Table I — efficiency and stability",
     )
+    name = "table1_efficiency" if include_rl else "table1_heuristics"
+    write_json_report(name, {"rows": rows, "ordering_ok": ordering_ok, "dbms": list(dbms_list)})
     return ordering_ok
 
 

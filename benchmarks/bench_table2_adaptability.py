@@ -7,9 +7,7 @@ heuristics are evaluated directly on each perturbed workload.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import Scenario, evaluate_heuristics, evaluate_rl, paper_values, print_table
+from repro.bench import Scenario, evaluate_heuristics, evaluate_rl, paper_values, print_table, write_json_report
 from repro.core import BQSched, LSchedScheduler
 from repro.workloads import perturb_workload
 
@@ -54,6 +52,7 @@ def _run(profile):
         rows,
         title="Table II — adaptability under data / query changes",
     )
+    write_json_report("table2_adaptability", {"rows": rows, "improvements": improvements})
     return improvements
 
 

@@ -8,9 +8,7 @@ classification accuracy and remaining-time regression MSE.
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
-from repro.bench import Scenario, paper_values, print_table
+from repro.bench import Scenario, paper_values, print_table, write_json_report
 from repro.config import SimulatorConfig
 from repro.core import LearnedSimulator
 from repro.core.knowledge import ExternalKnowledge
@@ -64,6 +62,13 @@ def _run(profile):
         ["variant", "measured Acc", "paper Acc", "measured MSE", "paper MSE"],
         rows,
         title="Table III — simulator prediction model",
+    )
+    write_json_report(
+        "table3_simulator_model",
+        {
+            name: {"accuracy": m.accuracy, "mse": m.mse, "num_examples": m.num_examples}
+            for name, m in measured.items()
+        },
     )
     return measured
 

@@ -1,0 +1,118 @@
+"""Run every paper-reproduction benchmark and aggregate the JSON results.
+
+Each ``bench_*.py`` file emits a machine-readable result via
+:func:`repro.bench.write_json_report`; this entry point runs them all (as
+pytest sessions, one per file, so a failure in one benchmark does not stop
+the rest), then prints a summary of the collected JSON files.  The JSON
+results are the cross-PR perf trajectory: commit or archive the results
+directory to compare runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--profile quick|full]
+                                                [--results-dir DIR]
+                                                [--only PATTERN]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover(pattern: str | None) -> list[Path]:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if pattern:
+        files = [path for path in files if pattern in path.name]
+    return files
+
+
+_PYTEST_NO_TESTS_COLLECTED = 5
+
+
+def run_benchmark(path: Path, env: dict) -> tuple[bool, float]:
+    """Run one benchmark file; returns (passed, seconds).
+
+    Benchmarks are pytest files, except the plain-CLI ones (e.g.
+    ``bench_rollout_throughput.py``): when pytest collects no tests, the file
+    is re-run as a script and its own exit code decides.
+    """
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(path), "-q", "--no-header"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    if proc.returncode == _PYTEST_NO_TESTS_COLLECTED:
+        proc = subprocess.run([sys.executable, str(path)], cwd=REPO_ROOT, env=env)
+    return proc.returncode == 0, time.perf_counter() - started
+
+
+def summarise(results_dir: Path) -> list[list[str]]:
+    rows = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            with path.open(encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            rows.append([path.name, "?", "unreadable"])
+            continue
+        payload = document.get("payload", {})
+        size = len(payload) if isinstance(payload, (dict, list)) else 1
+        rows.append([path.name, document.get("profile", "?"), f"{size} payload entries"])
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=("quick", "full"), default=None,
+                        help="effort profile (default: REPRO_BENCH_PROFILE or quick)")
+    parser.add_argument("--results-dir", default=None,
+                        help="where JSON results land (default: REPRO_BENCH_RESULTS or benchmarks/results)")
+    parser.add_argument("--only", default=None, help="substring filter on benchmark file names")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    if args.profile:
+        env["REPRO_BENCH_PROFILE"] = args.profile
+    if args.results_dir:
+        env["REPRO_BENCH_RESULTS"] = args.results_dir
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+    files = discover(args.only)
+    if not files:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    failures = []
+    for path in files:
+        print(f"\n=== {path.name} ===", flush=True)
+        passed, elapsed = run_benchmark(path, env)
+        print(f"--- {path.name}: {'ok' if passed else 'FAILED'} in {elapsed:.1f}s", flush=True)
+        if not passed:
+            failures.append(path.name)
+
+    results_dir = Path(env.get("REPRO_BENCH_RESULTS", "benchmarks/results"))
+    if not results_dir.is_absolute():
+        results_dir = REPO_ROOT / results_dir
+    print("\nCollected JSON results:")
+    for name, profile, info in summarise(results_dir):
+        print(f"  {name:<36} profile={profile:<6} {info}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark file(s) failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

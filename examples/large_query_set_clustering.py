@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
-from repro.core import BQSched, FIFOScheduler, build_gain_matrix, compute_scheduling_gains
+from repro.core import BQSched, FIFOScheduler, compute_scheduling_gains
 
 
 def main() -> None:

@@ -1,0 +1,57 @@
+"""Streaming service: multi-tenant scheduling with open query arrivals.
+
+The event-driven runtime lets one engine serve several *tenants* — independent
+batch query sets sharing the connections, buffer pool and contention model —
+while each tenant's queries stream in over time (Poisson arrivals here).  The
+trained policy runs as a continuous scheduler: at every completion or arrival
+event, every tenant that has an idle connection and an arrived pending query
+submits its next choice.
+
+Run with::
+
+    PYTHONPATH=src python examples/streaming_service.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BQSchedConfig,
+    DatabaseEngine,
+    DBMSProfile,
+    PoissonArrivals,
+    make_workload,
+)
+from repro.core import LSchedScheduler
+
+
+def main() -> None:
+    # 1. Build the workload and a small scheduler, and train it briefly on
+    #    the classic closed-batch objective.
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 8
+    scheduler = LSchedScheduler(workload, engine, config)
+    scheduler.train(num_updates=2)
+
+    # 2. Closed multi-tenant serving: two copies of the batch share the engine.
+    print("Two closed-batch tenants sharing one engine:")
+    report = scheduler.serve(num_tenants=2, arrivals=None)
+    print(report)
+
+    # 3. Streaming serving: each tenant's queries arrive as a Poisson stream
+    #    (about 3 queries/second), so the pending set grows mid-round and the
+    #    scheduler decides at every completion *and* arrival event.
+    print("\nSame tenants with Poisson arrivals (rate 3/s):")
+    report = scheduler.serve(num_tenants=2, arrivals=PoissonArrivals(rate=3.0))
+    print(report)
+
+    # 4. The per-tenant logs are disjoint and complete: every tenant ran its
+    #    whole batch, nothing leaked across tenants.
+    for tenant in report.tenants:
+        assert tenant.num_queries == len(scheduler.batch)
+    print("\nAll tenants drained their full batch — per-tenant logs are complete.")
+
+
+if __name__ == "__main__":
+    main()

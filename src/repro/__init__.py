@@ -22,7 +22,7 @@ Quickstart::
 """
 
 from .version import __version__
-from .config import BQSchedConfig, EncoderConfig, PPOConfig, SchedulerConfig, SimulatorConfig
+from .config import BQSchedConfig, EncoderConfig, PPOConfig, SchedulerConfig, ServiceConfig, SimulatorConfig
 from .exceptions import (
     BQSchedError,
     ConfigurationError,
@@ -30,8 +30,20 @@ from .exceptions import (
     SimulationError,
     WorkloadError,
 )
-from .workloads import BatchQuerySet, Query, Workload, make_workload
+from .workloads import (
+    ArrivalProcess,
+    BatchQuerySet,
+    BurstyArrivals,
+    ClosedArrivals,
+    PoissonArrivals,
+    Query,
+    TraceArrivals,
+    Workload,
+    make_arrival_process,
+    make_workload,
+)
 from .dbms import DatabaseEngine, DBMSProfile, ExecutionLog, RunningParameters
+from .runtime import ExecutionRuntime, RuntimeTenant, ServiceReport, TenantSession
 from .core import (
     BQSched,
     FIFOScheduler,
@@ -48,16 +60,27 @@ __all__ = [
     "EncoderConfig",
     "PPOConfig",
     "SchedulerConfig",
+    "ServiceConfig",
     "SimulatorConfig",
     "BQSchedError",
     "ConfigurationError",
     "SchedulingError",
     "SimulationError",
     "WorkloadError",
+    "ArrivalProcess",
     "BatchQuerySet",
+    "BurstyArrivals",
+    "ClosedArrivals",
+    "PoissonArrivals",
     "Query",
+    "TraceArrivals",
     "Workload",
+    "make_arrival_process",
     "make_workload",
+    "ExecutionRuntime",
+    "RuntimeTenant",
+    "ServiceReport",
+    "TenantSession",
     "DatabaseEngine",
     "DBMSProfile",
     "ExecutionLog",

@@ -6,10 +6,11 @@ from .harness import (
     Scenario,
     evaluate_heuristics,
     evaluate_rl,
+    evaluate_service,
     get_profile,
     run_strategy_comparison,
 )
-from .reporting import ComparisonRow, format_table, print_table, render_gantt
+from .reporting import ComparisonRow, format_table, print_table, render_gantt, results_dir, write_json_report
 from . import paper_values
 
 __all__ = [
@@ -18,11 +19,14 @@ __all__ = [
     "Scenario",
     "evaluate_heuristics",
     "evaluate_rl",
+    "evaluate_service",
     "get_profile",
     "run_strategy_comparison",
     "ComparisonRow",
     "format_table",
     "print_table",
     "render_gantt",
+    "results_dir",
+    "write_json_report",
     "paper_values",
 ]

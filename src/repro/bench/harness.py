@@ -13,8 +13,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..config import BQSchedConfig
 from ..core import (
     AdaptiveMask,
@@ -30,9 +28,18 @@ from ..core import (
 )
 from ..core.knowledge import ExternalKnowledge
 from ..dbms import ConfigurationSpace, DatabaseEngine, DBMSProfile
-from ..workloads import Workload, make_workload
+from ..runtime import ServiceReport
+from ..workloads import Workload, make_arrival_process, make_workload
 
-__all__ = ["BenchProfile", "Scenario", "get_profile", "evaluate_heuristics", "evaluate_rl", "run_strategy_comparison"]
+__all__ = [
+    "BenchProfile",
+    "Scenario",
+    "get_profile",
+    "evaluate_heuristics",
+    "evaluate_rl",
+    "evaluate_service",
+    "run_strategy_comparison",
+]
 
 HEURISTICS = ("Random", "FIFO", "MCF")
 
@@ -150,6 +157,30 @@ def evaluate_rl(
     evaluation = scheduler.evaluate_policy(rounds=rounds)
     evaluation.strategy = scheduler.name
     return evaluation, scheduler
+
+
+def evaluate_service(
+    scheduler: RLSchedulerBase,
+    num_tenants: int,
+    arrival_process: str = "poisson",
+    arrival_rate: float = 2.0,
+    burst_size: int = 4,
+    num_connections: int | None = None,
+    round_id: int = 80_000,
+) -> ServiceReport:
+    """Serve a (trained) RL scheduler over a multi-tenant streaming round.
+
+    This is the event-driven serving scenario: ``num_tenants`` copies of the
+    scheduler's batch share one engine, each arriving as a stream described
+    by ``arrival_process`` (``closed`` / ``poisson`` / ``bursty``).
+    """
+    arrivals = make_arrival_process(arrival_process, rate=arrival_rate, burst_size=burst_size)
+    return scheduler.serve(
+        num_tenants=num_tenants,
+        arrivals=arrivals,
+        num_connections=num_connections,
+        round_id=round_id,
+    )
 
 
 def run_strategy_comparison(

@@ -1,15 +1,80 @@
-"""Plain-text reporting helpers for the benchmark harness.
+"""Reporting helpers for the benchmark harness.
 
 Every benchmark prints the rows/series the corresponding paper table or
 figure reports, with the paper's value (where available) next to the value
-measured on the synthetic substrate.
+measured on the synthetic substrate — and additionally emits a
+machine-readable JSON result via :func:`write_json_report`, so the
+performance trajectory of the reproduction can be tracked across PRs
+(``benchmarks/run_all.py`` aggregates them).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from dataclasses import dataclass
+from pathlib import Path
 
-__all__ = ["ComparisonRow", "format_table", "print_table", "render_gantt"]
+__all__ = [
+    "ComparisonRow",
+    "format_table",
+    "print_table",
+    "render_gantt",
+    "results_dir",
+    "write_json_report",
+]
+
+#: Environment variable overriding where JSON benchmark results are written.
+RESULTS_DIR_ENV = "REPRO_BENCH_RESULTS"
+_DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+#: Bump when the JSON result layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def results_dir() -> Path:
+    """Directory JSON benchmark results are written to (created on demand)."""
+    return Path(os.environ.get(RESULTS_DIR_ENV, _DEFAULT_RESULTS_DIR))
+
+
+def _json_safe(value):
+    """Best-effort conversion of benchmark payloads to JSON-serialisable data."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if hasattr(value, "item") and callable(value.item) and getattr(value, "shape", None) == ():
+        return value.item()  # 0-d numpy scalar
+    if hasattr(value, "tolist") and callable(value.tolist):
+        return value.tolist()  # numpy array
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_json_report(name: str, payload: dict, directory: "str | Path | None" = None) -> Path:
+    """Write one benchmark's machine-readable result and return its path.
+
+    The file lands in ``directory`` (default: ``$REPRO_BENCH_RESULTS`` or
+    ``benchmarks/results``) as ``<name>.json`` with a small envelope —
+    schema version, effort profile, python version — around the
+    benchmark-specific ``payload``.
+    """
+    target = Path(directory) if directory is not None else results_dir()
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"{name}.json"
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "profile": os.environ.get("REPRO_BENCH_PROFILE", "quick"),
+        "python": platform.python_version(),
+        "payload": _json_safe(payload),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @dataclass(frozen=True)

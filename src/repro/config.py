@@ -19,6 +19,7 @@ __all__ = [
     "SimulatorConfig",
     "ClusteringConfig",
     "MaskingConfig",
+    "ServiceConfig",
     "BQSchedConfig",
 ]
 
@@ -207,6 +208,36 @@ class SchedulerConfig:
 
 
 @dataclass
+class ServiceConfig:
+    """Event-driven serving: multi-tenant rounds and streaming arrivals.
+
+    Used by :meth:`repro.core.bqsched.RLSchedulerBase.serve`, which runs the
+    trained policy as a continuous scheduler over an
+    :class:`~repro.runtime.ExecutionRuntime`.  ``num_tenants`` independent
+    copies of the batch share one engine's connections and buffer pool;
+    ``arrival_process`` opens each tenant's batch into a stream
+    (``closed`` / ``poisson`` / ``bursty``) at ``arrival_rate`` queries per
+    second, with ``burst_size`` queries per burst in the bursty case.
+    """
+
+    num_tenants: int = 2
+    arrival_process: str = "closed"
+    arrival_rate: float = 2.0
+    burst_size: int = 4
+    base_round_id: int = 80_000
+
+    def __post_init__(self) -> None:
+        _require(self.num_tenants >= 1, "num_tenants must be >= 1")
+        _require(
+            self.arrival_process in ("closed", "poisson", "bursty"),
+            "arrival_process must be 'closed', 'poisson' or 'bursty'",
+        )
+        _require(self.arrival_rate > 0, "arrival_rate must be positive")
+        _require(self.burst_size >= 1, "burst_size must be >= 1")
+        _require(self.base_round_id >= 0, "base_round_id must be >= 0")
+
+
+@dataclass
 class BQSchedConfig:
     """Top-level configuration aggregating every component."""
 
@@ -216,6 +247,7 @@ class BQSchedConfig:
     masking: MaskingConfig = field(default_factory=MaskingConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     seed: int = 0
 
     def to_dict(self) -> dict:

@@ -3,7 +3,7 @@
 from .types import SchedulingResult, StrategyEvaluation
 from .knowledge import ExternalKnowledge
 from .masking import AdaptiveMask
-from .env import SchedulingEnv, StepResult
+from .env import SchedulingEnv, SchedulingSession, SessionBackend, StepResult
 from .vecenv import VectorSchedulingEnv
 from .baselines import BaseScheduler, FIFOScheduler, MCFScheduler, RandomScheduler, run_episode
 from .policy import ActorCriticNetwork, PolicyDecision
@@ -22,6 +22,8 @@ __all__ = [
     "ExternalKnowledge",
     "AdaptiveMask",
     "SchedulingEnv",
+    "SchedulingSession",
+    "SessionBackend",
     "StepResult",
     "VectorSchedulingEnv",
     "BaseScheduler",

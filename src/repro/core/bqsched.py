@@ -10,7 +10,9 @@ API:
    train the learned simulator;
 3. :meth:`train` — pre-train the IQ-PPO policy against the simulator, then
    fine-tune it against the real DBMS;
-4. :meth:`schedule` / :meth:`evaluate` — run the learned policy greedily.
+4. :meth:`schedule` / :meth:`evaluate` — run the learned policy greedily;
+5. :meth:`serve` — run the policy as a continuous event-driven scheduler
+   over multi-tenant, streaming-arrival rounds on a shared engine.
 
 :class:`LSchedScheduler` is the paper's adapted baseline: the same state
 representation but plain PPO, no adaptive masking, no clustering and no
@@ -29,7 +31,8 @@ from ..dbms import ConfigurationSpace, DatabaseEngine, ExecutionLog
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
 from ..plans import PlanFeaturizer
-from ..workloads import BatchQuerySet, Workload
+from ..runtime import ExecutionRuntime, ServiceReport
+from ..workloads import ArrivalProcess, BatchQuerySet, ClosedArrivals, Workload, make_arrival_process
 from .baselines import BaseScheduler
 from .clustering import QueryClusters, cluster_queries
 from .env import SchedulingEnv
@@ -40,7 +43,6 @@ from .masking import AdaptiveMask
 from .policy import ActorCriticNetwork
 from .ppg import PPGTrainer
 from .ppo import PPOTrainer, TrainingHistory
-from .rollout import RolloutBuffer
 from .simulator import LearnedSimulator
 from .types import SchedulingResult, StrategyEvaluation
 
@@ -337,6 +339,82 @@ class RLSchedulerBase(BaseScheduler):
                 snapshot, done = step.snapshot, step.done
             evaluation.add(env.result().makespan)
         return evaluation
+
+    # ------------------------------------------------------------------ #
+    # Event-driven serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        num_tenants: int | None = None,
+        arrivals: "ArrivalProcess | str | None" = None,
+        num_connections: int | None = None,
+        round_id: int | None = None,
+    ) -> ServiceReport:
+        """Run the trained policy as a continuous scheduler over a shared round.
+
+        ``num_tenants`` independent instances of the batch (defaulting to
+        ``config.service.num_tenants``) are registered as tenants of one
+        :class:`~repro.runtime.ExecutionRuntime` on the real engine, each
+        optionally opened into a stream by ``arrivals`` (an
+        :class:`~repro.workloads.ArrivalProcess`, a process name from
+        :func:`~repro.workloads.make_arrival_process`, or ``None`` to use
+        ``config.service.arrival_process``).  The loop is event-driven: at
+        every completion or arrival event, every tenant that can decide
+        submits its next query (policy runs greedily) before the clock moves
+        again.  Returns per-tenant makespans and latency percentiles.
+        """
+        if self.clusters is not None:
+            raise SchedulingError("serve() schedules at query level; cluster mode is not supported")
+        service = self.config.service
+        num_tenants = num_tenants if num_tenants is not None else service.num_tenants
+        if num_tenants < 1:
+            raise SchedulingError("num_tenants must be >= 1")
+        if arrivals is None:
+            arrivals = service.arrival_process
+        if isinstance(arrivals, str):
+            arrivals = make_arrival_process(
+                arrivals, rate=service.arrival_rate, burst_size=service.burst_size
+            )
+        if isinstance(arrivals, ClosedArrivals):
+            arrivals = None
+
+        scheduler_config = (
+            self.config.scheduler
+            if num_connections is None
+            else replace(self.config.scheduler, num_connections=num_connections)
+        )
+        runtime = ExecutionRuntime(self.engine)
+        envs = []
+        for index in range(num_tenants):
+            tenant = runtime.register(f"tenant-{index}", self.batch, arrivals=arrivals)
+            envs.append(
+                SchedulingEnv(
+                    batch=self.batch,
+                    backend=tenant,
+                    scheduler_config=scheduler_config,
+                    config_space=self.config_space,
+                    knowledge=self.knowledge,
+                    mask=self.mask,
+                    strategy_name=f"{self.name}/serve",
+                )
+            )
+        round_id = round_id if round_id is not None else service.base_round_id
+        for env in envs:
+            env.reset(round_id=round_id)
+
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                for env in envs:
+                    while env.can_decide():
+                        action = self.select_action(env, env.snapshot())
+                        env.begin_step(action)
+                        progressed = True
+            if runtime.is_done:
+                break
+            runtime.advance()
+        return ServiceReport.from_runtime(runtime, strategy=self.name)
 
     # ------------------------------------------------------------------ #
     # Online adaptation

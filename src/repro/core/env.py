@@ -14,35 +14,97 @@ process BQSched learns on:
   negative makespan the paper optimises.
 
 The environment is backend-agnostic: it drives either the real DBMS
-substrate (:class:`repro.dbms.DatabaseEngine`) or the learned incremental
-simulator (:class:`repro.core.simulator.LearnedSimulator`), which is exactly
-the non-intrusive interface the paper requires.
+substrate (:class:`repro.dbms.DatabaseEngine`), the learned incremental
+simulator (:class:`repro.core.simulator.LearnedSimulator`), or a tenant of
+the event-driven :class:`repro.runtime.ExecutionRuntime` — which is exactly
+the non-intrusive interface the paper requires.  The environment itself is a
+thin runtime client: every round runs through an
+:class:`~repro.runtime.ExecutionRuntime` (a private single-tenant one when
+the backend is a raw engine/simulator), so closed batches, multi-tenant
+shared rounds and streaming arrivals all take the same code path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..config import SchedulerConfig
 from ..dbms import ConfigurationSpace, RunningParameters
+from ..dbms.logs import RoundLog
 from ..encoder import QueryRuntimeInfo, QueryStatus, SchedulingSnapshot
 from ..exceptions import SchedulingError
-from ..workloads import BatchQuerySet
+from ..runtime import ExecutionRuntime, RuntimeTenant
+from ..workloads import ArrivalProcess, BatchQuerySet
 from .knowledge import ExternalKnowledge
 from .masking import AdaptiveMask
 from .types import SchedulingResult
 
-__all__ = ["SchedulingEnv", "StepResult", "SessionBackend"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.engine import RunningQueryState
+
+__all__ = ["SchedulingEnv", "StepResult", "SchedulingSession", "SessionBackend"]
 
 
+@runtime_checkable
+class SchedulingSession(Protocol):
+    """One live scheduling round, as the environment observes and drives it.
+
+    Implemented by the fluid-engine :class:`~repro.dbms.engine.ExecutionSession`,
+    the learned-simulator :class:`~repro.core.simulator.SimulatedSession`, and
+    the multi-tenant :class:`~repro.runtime.TenantSession`.
+    """
+
+    current_time: float
+    pending: list[int]
+    finished: dict[int, float]
+    log: RoundLog
+
+    @property
+    def is_done(self) -> bool: ...  # pragma: no cover - protocol
+
+    @property
+    def has_idle_connection(self) -> bool: ...  # pragma: no cover - protocol
+
+    @property
+    def has_pending(self) -> bool: ...  # pragma: no cover - protocol
+
+    @property
+    def num_running(self) -> int: ...  # pragma: no cover - protocol
+
+    @property
+    def makespan(self) -> float: ...  # pragma: no cover - protocol
+
+    def running_states(self) -> "list[RunningQueryState]": ...  # pragma: no cover - protocol
+
+    def unarrived_ids(self) -> tuple[int, ...]: ...  # pragma: no cover - protocol
+
+    def arrival_time(self, query_id: int) -> float: ...  # pragma: no cover - protocol
+
+    def submit(self, query_id: int, parameters: RunningParameters) -> int: ...  # pragma: no cover - protocol
+
+    def advance(self, limit: float | None = None) -> object | None: ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
 class SessionBackend(Protocol):
-    """Anything that can open scheduling sessions (real engine or simulator)."""
+    """Anything that can open scheduling rounds.
 
-    def new_session(self, batch, num_connections=None, strategy="", round_id=None):  # pragma: no cover - protocol
-        ...
+    Satisfied by :class:`repro.dbms.DatabaseEngine`,
+    :class:`repro.core.simulator.LearnedSimulator` and
+    :class:`repro.runtime.RuntimeTenant` (conformance is asserted in
+    ``tests/test_session_protocol.py``).
+    """
+
+    def new_session(
+        self,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+    ) -> SchedulingSession: ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -68,6 +130,7 @@ class SchedulingEnv:
         mask: AdaptiveMask | None = None,
         clusters=None,
         strategy_name: str = "rl",
+        arrivals: "ArrivalProcess | Sequence[float] | None" = None,
     ) -> None:
         self.batch = batch
         self.backend = backend
@@ -75,14 +138,33 @@ class SchedulingEnv:
         self.config_space = config_space
         self.knowledge = knowledge
         self.num_configs = len(config_space)
-        self.mask = mask if mask is not None else AdaptiveMask.unmasked(len(batch), self.num_configs)
+        if mask is None:
+            mask = AdaptiveMask.unmasked(len(batch), self.num_configs)
+        elif mask.num_queries < len(batch):
+            # A mask built from a smaller probed set (e.g. before extra trace
+            # queries were appended) grows to cover the full batch; the new
+            # queries default to every configuration.
+            mask = mask.extended(len(batch))
+        self.mask = mask
         self.clusters = clusters
         self.strategy_name = strategy_name
+        self.arrivals = arrivals
+        if isinstance(backend, RuntimeTenant):
+            if arrivals is not None:
+                raise SchedulingError("arrivals are configured when registering the runtime tenant")
+            self._tenant = backend
+        else:
+            self._tenant = ExecutionRuntime(backend).register("env", self.batch, arrivals=arrivals)
         self._session = None
         self._last_time = 0.0
         self._cluster_remaining: list[list[int]] = []
         self._round_counter = 0
         self._static_infos: dict[tuple[int, QueryStatus], QueryRuntimeInfo] = {}
+
+    @property
+    def runtime(self) -> ExecutionRuntime:
+        """The event-driven runtime this environment schedules through."""
+        return self._tenant.runtime
 
     # ------------------------------------------------------------------ #
     # Action space
@@ -150,7 +232,7 @@ class SchedulingEnv:
         if round_id is None:
             round_id = self._round_counter
             self._round_counter += 1
-        self._session = self.backend.new_session(
+        self._session = self._tenant.new_session(
             self.batch,
             num_connections=self.scheduler_config.num_connections,
             strategy=strategy or self.strategy_name,
@@ -198,7 +280,7 @@ class SchedulingEnv:
 
     def needs_advance(self) -> bool:
         """Whether the clock must advance before another decision is possible."""
-        return not self._session.is_done and not self._can_decide()
+        return not self._session.is_done and not self.can_decide()
 
     def finish_step(self, time_before: float) -> StepResult:
         """Build the :class:`StepResult` once the advance loop has converged."""
@@ -254,7 +336,15 @@ class SchedulingEnv:
         allowed = self.mask.allowed_configs(query_id)
         return self.config_space.closest_to(cluster_params, allowed=allowed)
 
-    def _can_decide(self) -> bool:
+    def can_decide(self) -> bool:
+        """Whether a scheduling decision is possible right now.
+
+        Public because event-driven drivers (``BQSched.serve``) interleave
+        decisions of several tenants at every runtime event: after each
+        event, every tenant whose environment can decide submits before the
+        clock moves again.
+        """
+        self._require_session()
         if not self._session.has_idle_connection:
             return False
         if self.cluster_mode:
@@ -265,12 +355,19 @@ class SchedulingEnv:
     # Observation
     # ------------------------------------------------------------------ #
     def snapshot(self) -> SchedulingSnapshot:
-        """Build the observable state of every query at the current instant."""
+        """Build the observable state of every query at the current instant.
+
+        Queries that have not yet arrived (streaming scenario) are reported
+        as pending-but-unavailable: the adaptive mask already excludes them
+        from the action space, and ``available``/``time_to_available`` let an
+        arrival-aware featurizer expose the distinction.
+        """
         self._require_session()
         session = self._session
         now = session.current_time
         running = {state.query.query_id: state for state in session.running_states()}
         finished = session.finished
+        unarrived = frozenset(session.unarrived_ids())
         infos = []
         for query in self.batch:
             query_id = query.query_id
@@ -288,6 +385,18 @@ class SchedulingEnv:
                 )
             elif query_id in finished:
                 infos.append(self._static_info(query_id, QueryStatus.FINISHED))
+            elif unarrived and query_id in unarrived:
+                infos.append(
+                    QueryRuntimeInfo(
+                        query_id=query_id,
+                        status=QueryStatus.PENDING,
+                        config_index=-1,
+                        elapsed=0.0,
+                        expected_time=self.knowledge.average_time(query_id),
+                        available=False,
+                        time_to_available=max(0.0, self._session.arrival_time(query_id) - now),
+                    )
+                )
             else:
                 infos.append(self._static_info(query_id, QueryStatus.PENDING))
         return SchedulingSnapshot(time=now, infos=tuple(infos))

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..dbms import ExecutionLog
 from ..exceptions import SchedulingError
-from ..nn import Adam, MLP, Module, Tensor, concatenate, mse_loss
+from ..nn import Adam, MLP, Module, Tensor, mse_loss
 from ..workloads import BatchQuerySet
 
 __all__ = ["compute_scheduling_gains", "GainModel", "build_gain_matrix"]

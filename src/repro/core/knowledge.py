@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
-from ..dbms import ConfigurationSpace, DatabaseEngine, ExecutionLog, RunningParameters
+from ..dbms import ConfigurationSpace, DatabaseEngine, ExecutionLog
 from ..exceptions import SchedulingError
 from ..workloads import BatchQuerySet
 

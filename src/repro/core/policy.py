@@ -14,10 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import EncoderConfig
 from ..encoder import BatchedStateRepresentation, SchedulingSnapshot, StateEncoder, StateRepresentation
 from ..exceptions import SchedulingError
-from ..nn import MLP, Module, Tensor, concatenate, fastinfer, masked_log_softmax, no_grad, stack
+from ..nn import MLP, Module, Tensor, fastinfer, masked_log_softmax, no_grad, stack
 
 __all__ = ["ActorCriticNetwork", "PolicyDecision"]
 

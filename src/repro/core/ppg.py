@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Adam, Tensor, clip_grad_norm, kl_divergence, masked_log_softmax
+from ..nn import Tensor, clip_grad_norm, kl_divergence, masked_log_softmax
 from .ppo import PPOTrainer
 from .rollout import RolloutBuffer
 

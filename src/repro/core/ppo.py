@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import PPOConfig
-from ..nn import Adam, Tensor, clip_grad_norm, concatenate, kl_divergence, where
+from ..nn import Adam, Tensor, clip_grad_norm, concatenate, where
 from .env import SchedulingEnv
 from .policy import ActorCriticNetwork
 from .rollout import RolloutBuffer, Transition

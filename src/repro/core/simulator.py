@@ -22,7 +22,7 @@ import numpy as np
 
 from ..config import SimulatorConfig
 from ..dbms import ConfigurationSpace, ExecutionLog, QueryExecutionRecord, RoundLog, RunningParameters
-from ..dbms.engine import RunningQueryState
+from ..dbms.engine import CompletionEvent, RunningQueryState
 from ..exceptions import SimulationError
 from ..nn import Adam, AttentionEncoder, Linear, MLP, Module, Tensor, cross_entropy, fastinfer, no_grad
 from ..workloads import BatchQuerySet
@@ -286,7 +286,16 @@ class LearnedSimulator:
 
 
 class SimulatedSession:
-    """A scheduling round served entirely by the learned simulator."""
+    """A scheduling round served entirely by the learned simulator.
+
+    Speaks the same session dialect as the fluid-engine
+    :class:`~repro.dbms.engine.ExecutionSession`, including the event-driven
+    extensions (``defer``/``release`` for streaming arrivals and a bounded
+    ``advance(limit)``), so the :class:`repro.runtime.ExecutionRuntime` can
+    host multi-tenant rounds on either backend.
+    """
+
+    supports_lockstep = True
 
     def __init__(
         self,
@@ -303,6 +312,7 @@ class SimulatedSession:
         self.num_connections = num_connections
         self.current_time = 0.0
         self.pending: list[int] = [q.query_id for q in batch]
+        self.deferred: list[int] = []
         self.running: dict[int, RunningQueryState] = {}
         self.finished: dict[int, float] = {}
         self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
@@ -312,7 +322,7 @@ class SimulatedSession:
     # -- protocol properties ------------------------------------------- #
     @property
     def is_done(self) -> bool:
-        return not self.pending and not self.running
+        return not self.pending and not self.deferred and not self.running
 
     @property
     def has_idle_connection(self) -> bool:
@@ -337,6 +347,29 @@ class SimulatedSession:
         return [self.batch[i] for i in self.pending]
 
     # -- protocol methods ----------------------------------------------- #
+    def defer(self, query_ids: "list[int]") -> None:
+        """Move pending queries into the deferred (not yet arrived) state."""
+        for query_id in query_ids:
+            if query_id not in self.pending:
+                raise SimulationError(f"query {query_id} is not pending and cannot be deferred")
+            self.pending.remove(query_id)
+            self.deferred.append(query_id)
+
+    def release(self, query_id: int) -> None:
+        """Mark a deferred query as arrived: it becomes pending at the current time."""
+        if query_id not in self.deferred:
+            raise SimulationError(f"query {query_id} is not deferred")
+        self.deferred.remove(query_id)
+        self.pending.append(query_id)
+
+    def unarrived_ids(self) -> "tuple[int, ...]":
+        """Query ids present in the round but not yet arrived (deferred)."""
+        return tuple(self.deferred)
+
+    def arrival_time(self, query_id: int) -> float:
+        """Raw sessions have no arrival schedule; everything arrives at zero."""
+        return 0.0
+
     def submit(self, query_id: int, parameters: RunningParameters) -> int:
         if query_id not in self.pending:
             raise SimulationError(f"query {query_id} is not pending in the simulator")
@@ -383,16 +416,35 @@ class SimulatedSession:
         features[:, self.simulator.elapsed_column] = np.tanh(elapsed / _TIME_SCALE)
         return states, features
 
-    def advance(self) -> None:
-        """Predict the earliest finisher and move the clock to its finish time."""
+    def advance(self, limit: float | None = None) -> CompletionEvent | None:
+        """Predict the earliest finisher and move the clock to its finish time.
+
+        With a ``limit`` the clock stops there when the predicted completion
+        falls beyond it (returning ``None``); with nothing running, a
+        ``limit`` idles the clock forward to it.
+        """
+        if not self.running:
+            if limit is None:
+                raise SimulationError("cannot advance: no query running in the simulator")
+            self.current_time = max(self.current_time, limit)
+            return None
         states, features = self.advance_features()
         logits, times = self.simulator.model.predict(features)
-        self.apply_advance(states, logits, times)
+        return self.apply_advance(states, logits, times, limit=limit)
 
-    def apply_advance(self, states: list[RunningQueryState], logits: np.ndarray, times: np.ndarray) -> None:
+    def apply_advance(
+        self,
+        states: list[RunningQueryState],
+        logits: np.ndarray,
+        times: np.ndarray,
+        limit: float | None = None,
+    ) -> CompletionEvent | None:
         """Finish the predicted earliest query and move the clock accordingly."""
         index = int(np.argmax(logits))
         remaining = max(_MIN_REMAINING, float(times[index]) * _TIME_SCALE)
+        if limit is not None and self.current_time + remaining > limit:
+            self.current_time = limit
+            return None
         self.current_time += remaining
         state = states[index]
         query_id = state.query.query_id
@@ -410,3 +462,4 @@ class SimulatedSession:
                 finish_time=self.current_time,
             )
         )
+        return CompletionEvent(query_id=query_id, finish_time=self.current_time, connection=state.connection)

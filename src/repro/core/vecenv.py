@@ -48,9 +48,16 @@ class VectorSchedulingEnv:
         The backend is shared too: every session it opens is an independent
         object, so concurrent rounds do not interfere (this holds for both the
         real :class:`~repro.dbms.DatabaseEngine` and the learned simulator).
+        Each sub-env wraps the backend in its own single-tenant runtime, so a
+        template whose backend is already a shared-runtime tenant cannot be
+        cloned (the clones would fight over one tenant's round).
         """
         if num_envs < 1:
             raise SchedulingError("num_envs must be >= 1")
+        from ..runtime import RuntimeTenant
+
+        if isinstance(env.backend, RuntimeTenant):
+            raise SchedulingError("cannot clone an environment bound to a shared runtime tenant")
         envs = [
             SchedulingEnv(
                 batch=env.batch,
@@ -61,6 +68,7 @@ class VectorSchedulingEnv:
                 mask=env.mask,
                 clusters=env.clusters,
                 strategy_name=env.strategy_name,
+                arrivals=env.arrivals,
             )
             for _ in range(num_envs)
         ]
@@ -125,13 +133,14 @@ class VectorSchedulingEnv:
         """
         if len(indices) != len(actions):
             raise SchedulingError("indices and actions must align")
-        from .simulator import SimulatedSession
-
         # Even a single remaining active env stays on the lockstep path, so a
         # session's dynamics (float32 batched predictions) never depend on
-        # how many peer episodes happen to still be running.
+        # how many peer episodes happen to still be running.  Sessions opt in
+        # via ``supports_lockstep``: simulator-backed single-tenant closed
+        # rounds only — a shared multi-tenant clock or scheduled arrivals
+        # cannot be batched across environments.
         if self.clusters is None and all(
-            isinstance(self.envs[i].session, SimulatedSession) for i in indices
+            getattr(self.envs[i].session, "supports_lockstep", False) for i in indices
         ):
             return self._step_many_simulated(indices, actions)
         return [self.envs[i].step(action) for i, action in zip(indices, actions)]

@@ -24,7 +24,7 @@ contention, data sharing, and long-tail queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -73,7 +73,19 @@ class ExecutionSession:
     The session owns the clock: queries are submitted to idle connections at
     the current time, and :meth:`advance` moves the clock to the next query
     completion, returning the corresponding event.
+
+    Sessions also speak the event-driven dialect used by
+    :class:`repro.runtime.ExecutionRuntime`: queries can be *deferred* at the
+    start of a round (they exist in the batch but cannot be submitted until
+    :meth:`release`, which is how streaming arrivals enter a live round), and
+    :meth:`advance` accepts a ``limit`` so the runtime can stop the clock at
+    the next external event (e.g. a query arrival) instead of running through
+    to the next completion.
     """
+
+    #: Whether the vectorized engine may interleave this session's advances
+    #: with batched model predictions (only the learned simulator can).
+    supports_lockstep = False
 
     def __init__(
         self,
@@ -94,6 +106,7 @@ class ExecutionSession:
         self._rng = rng
         self.current_time = 0.0
         self.pending: list[int] = [q.query_id for q in batch]
+        self.deferred: list[int] = []
         self.running: dict[int, RunningQueryState] = {}
         self.finished: dict[int, float] = {}
         self._idle_connections: list[int] = list(range(num_connections))
@@ -110,7 +123,7 @@ class ExecutionSession:
     # ------------------------------------------------------------------ #
     @property
     def is_done(self) -> bool:
-        return not self.pending and not self.running
+        return not self.pending and not self.deferred and not self.running
 
     @property
     def has_idle_connection(self) -> bool:
@@ -132,6 +145,35 @@ class ExecutionSession:
 
     def running_states(self) -> list[RunningQueryState]:
         return list(self.running.values())
+
+    def defer(self, query_ids: "list[int]") -> None:
+        """Move pending queries into the deferred (not yet arrived) state.
+
+        Deferred queries belong to the round — their per-round noise is drawn
+        at session construction like everyone else's — but they cannot be
+        submitted until :meth:`release` marks them as arrived, and the round
+        does not finish while any remain.
+        """
+        for query_id in query_ids:
+            if query_id not in self.pending:
+                raise SchedulingError(f"query {query_id} is not pending and cannot be deferred")
+            self.pending.remove(query_id)
+            self.deferred.append(query_id)
+
+    def release(self, query_id: int) -> None:
+        """Mark a deferred query as arrived: it becomes pending at the current time."""
+        if query_id not in self.deferred:
+            raise SchedulingError(f"query {query_id} is not deferred")
+        self.deferred.remove(query_id)
+        self.pending.append(query_id)
+
+    def unarrived_ids(self) -> "tuple[int, ...]":
+        """Query ids present in the round but not yet arrived (deferred)."""
+        return tuple(self.deferred)
+
+    def arrival_time(self, query_id: int) -> float:
+        """Raw sessions have no arrival schedule; everything arrives at zero."""
+        return 0.0
 
     def submit(self, query_id: int, parameters: RunningParameters) -> int:
         """Submit a pending query to an idle connection at the current time.
@@ -156,10 +198,20 @@ class ExecutionSession:
         )
         return connection
 
-    def advance(self) -> CompletionEvent:
-        """Advance the clock to the next query completion and return it."""
+    def advance(self, limit: float | None = None) -> CompletionEvent | None:
+        """Advance the clock to the next query completion and return it.
+
+        With a ``limit``, the clock never moves past that instant: if the next
+        completion falls beyond it, all running queries progress up to
+        ``limit`` and ``None`` is returned (the event-driven runtime uses this
+        to stop at query arrivals).  With nothing running, a ``limit`` simply
+        idles the clock forward to it.
+        """
         if not self.running:
-            raise SimulationError("cannot advance: no query is running")
+            if limit is None:
+                raise SimulationError("cannot advance: no query is running")
+            self.current_time = max(self.current_time, limit)
+            return None
         rates = self._progress_rates()
         time_to_finish = {
             query_id: state.remaining_work / max(rates[query_id], _EPSILON)
@@ -167,6 +219,13 @@ class ExecutionSession:
         }
         finishing_id = min(time_to_finish, key=time_to_finish.get)
         delta = time_to_finish[finishing_id]
+        if limit is not None and self.current_time + delta > limit:
+            partial = limit - self.current_time
+            if partial > 0:
+                for query_id, state in self.running.items():
+                    state.remaining_work = max(0.0, state.remaining_work - rates[query_id] * partial)
+            self.current_time = limit
+            return None
         self.current_time += delta
         for query_id, state in self.running.items():
             state.remaining_work = max(0.0, state.remaining_work - rates[query_id] * delta)

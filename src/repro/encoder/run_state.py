@@ -8,7 +8,7 @@ time extracted from logs.  These are the features ``f_i`` of Section III-A.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -28,13 +28,22 @@ class QueryStatus(str, Enum):
 
 @dataclass(frozen=True)
 class QueryRuntimeInfo:
-    """Observable runtime state of one query at a decision instant."""
+    """Observable runtime state of one query at a decision instant.
+
+    ``available`` / ``time_to_available`` describe the streaming-arrival
+    scenario: a query that has not yet arrived is reported as pending but
+    unavailable (the action mask excludes it), with the time until its
+    arrival exposed for arrival-aware featurizers.  Closed batches leave the
+    defaults, which keep features bit-identical to the pre-runtime encoder.
+    """
 
     query_id: int
     status: QueryStatus
     config_index: int = -1
     elapsed: float = 0.0
     expected_time: float = 0.0
+    available: bool = True
+    time_to_available: float = 0.0
 
     def __post_init__(self) -> None:
         if self.elapsed < 0:
@@ -42,6 +51,12 @@ class QueryRuntimeInfo:
         if self.status is not QueryStatus.PENDING and self.config_index < 0:
             raise SchedulingError(
                 f"query {self.query_id} is {self.status.value} but has no configuration"
+            )
+        if self.time_to_available < 0:
+            raise SchedulingError(f"time_to_available must be >= 0 for query {self.query_id}")
+        if not self.available and self.status is not QueryStatus.PENDING:
+            raise SchedulingError(
+                f"query {self.query_id} is {self.status.value} but marked as not yet arrived"
             )
 
 
@@ -66,7 +81,23 @@ class SchedulingSnapshot:
 
     @property
     def pending_ids(self) -> list[int]:
-        return self.ids_with_status(QueryStatus.PENDING)
+        """Ids of queries that are pending *and* available for submission.
+
+        In the streaming scenario, queries that have not arrived yet are
+        reported as pending but unavailable; they are excluded here so that
+        schedulers iterating the pending set only ever pick schedulable
+        queries.  Closed batches (everything available) are unaffected.
+        """
+        return [
+            info.query_id
+            for info in self.infos
+            if info.status is QueryStatus.PENDING and info.available
+        ]
+
+    @property
+    def unarrived_ids(self) -> list[int]:
+        """Ids of queries that have not yet arrived (streaming scenario)."""
+        return [info.query_id for info in self.infos if not info.available]
 
     @property
     def running_ids(self) -> list[int]:
@@ -84,20 +115,29 @@ class RunStateFeaturizer:
     """Encodes :class:`QueryRuntimeInfo` into the dense feature vector ``f_i``.
 
     Layout: status one-hot (3) ‖ configuration one-hot (``num_configs``) ‖
-    normalised elapsed time ‖ normalised expected execution time.
+    normalised elapsed time ‖ normalised expected execution time
+    [‖ normalised time-to-arrival].
+
+    The optional arrival channel (``arrival_channel=True``) supports the
+    streaming scenario, where the pending set grows as queries arrive: the
+    extra entry is ``tanh(time_to_available / time_scale)`` — zero for every
+    query that is already available, so closed batches are unaffected.  It is
+    off by default to keep the feature layout (and trained policies)
+    bit-compatible with the paper's closed-batch encoder.
     """
 
-    def __init__(self, num_configs: int, time_scale: float = 10.0) -> None:
+    def __init__(self, num_configs: int, time_scale: float = 10.0, arrival_channel: bool = False) -> None:
         if num_configs < 1:
             raise SchedulingError("num_configs must be >= 1")
         if time_scale <= 0:
             raise SchedulingError("time_scale must be positive")
         self.num_configs = num_configs
         self.time_scale = time_scale
+        self.arrival_channel = arrival_channel
 
     @property
     def feature_dim(self) -> int:
-        return 3 + self.num_configs + 2
+        return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0)
 
     def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
         vector = np.zeros(self.feature_dim, dtype=np.float64)
@@ -111,6 +151,8 @@ class RunStateFeaturizer:
             vector[3 + info.config_index] = 1.0
         vector[3 + self.num_configs] = np.tanh(info.elapsed / self.time_scale)
         vector[3 + self.num_configs + 1] = np.tanh(info.expected_time / self.time_scale)
+        if self.arrival_channel:
+            vector[3 + self.num_configs + 2] = np.tanh(info.time_to_available / self.time_scale)
         return vector
 
     def featurize_snapshot(self, snapshot: SchedulingSnapshot) -> np.ndarray:
@@ -135,4 +177,7 @@ class RunStateFeaturizer:
         expected = np.fromiter((info.expected_time for info in infos), dtype=np.float64, count=n)
         features[:, 3 + self.num_configs] = np.tanh(elapsed / self.time_scale)
         features[:, 3 + self.num_configs + 1] = np.tanh(expected / self.time_scale)
+        if self.arrival_channel:
+            to_available = np.fromiter((info.time_to_available for info in infos), dtype=np.float64, count=n)
+            features[:, 3 + self.num_configs + 2] = np.tanh(to_available / self.time_scale)
         return features

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import EncoderConfig
-from ..nn import AttentionEncoder, Linear, MLP, Module, Parameter, Tensor, concatenate, fastinfer
+from ..nn import AttentionEncoder, MLP, Module, Parameter, Tensor, concatenate, fastinfer
 from ..nn import init as weight_init
 from .run_state import RunStateFeaturizer, SchedulingSnapshot
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, concatenate, stack
+from .tensor import Tensor
 
 __all__ = [
     "mse_loss",

@@ -10,7 +10,7 @@ usual left-deep join pipelines that optimisers emit for star-schema queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

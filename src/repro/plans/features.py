@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .operators import NUM_OPERATORS, OPERATOR_PROFILES, Operator
+from .operators import NUM_OPERATORS, OPERATOR_PROFILES
 from .plan import PhysicalPlan, PlanNode
 from .statistics import Catalog, HISTOGRAM_BINS
 

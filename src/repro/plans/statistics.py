@@ -8,7 +8,7 @@ a row count, a set of columns, and an equi-width histogram per column.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,33 @@
+"""Event-driven execution runtime: multi-tenant sessions, streaming arrivals.
+
+The runtime turns the repo's engine↔scheduler coupling from a pull-style
+single-batch loop into an event-queue architecture:
+
+* :class:`EventQueue` orders future events (streaming query arrivals).
+* :class:`ExecutionRuntime` advances the shared backend session (fluid
+  engine or learned simulator) to the next completion-or-arrival event and
+  dispatches it to the tenant that owns the query.
+* :class:`RuntimeTenant` / :class:`TenantSession` give each tenant a
+  session-protocol view scoped to its own query ids, so
+  :class:`~repro.core.env.SchedulingEnv` drives a shared round exactly the
+  way it drives a private one.
+* :class:`ServiceReport` summarises per-tenant makespan and latency
+  percentiles once a round drains.
+"""
+
+from .events import QueryArrival, QueryCompletion, RuntimeEvent
+from .queue import EventQueue
+from .report import ServiceReport, TenantReport
+from .runtime import ExecutionRuntime, RuntimeTenant, TenantSession
+
+__all__ = [
+    "QueryArrival",
+    "QueryCompletion",
+    "RuntimeEvent",
+    "EventQueue",
+    "ServiceReport",
+    "TenantReport",
+    "ExecutionRuntime",
+    "RuntimeTenant",
+    "TenantSession",
+]

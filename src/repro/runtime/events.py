@@ -1,0 +1,43 @@
+"""Event types flowing through the execution runtime.
+
+Two kinds of events exist in an event-driven scheduling round:
+
+* :class:`QueryArrival` — a streaming query becomes available to its tenant.
+  Arrivals are *scheduled*: they sit in the :class:`~repro.runtime.EventQueue`
+  until the engine clock reaches their time.
+* :class:`QueryCompletion` — the engine reports that a query finished.
+  Completions are *generated* by the fluid engine (or the learned simulator)
+  on demand and dispatched to the tenant that owns the query.
+
+Both carry tenant-local query ids: a tenant never sees another tenant's
+global id space, which is what keeps per-tenant logs disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["QueryArrival", "QueryCompletion", "RuntimeEvent"]
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """A query of ``tenant`` arrives (becomes pending) at ``time``."""
+
+    time: float
+    tenant: str
+    query_id: int
+
+
+@dataclass(frozen=True)
+class QueryCompletion:
+    """A query of ``tenant`` finished at ``time`` on ``connection``."""
+
+    time: float
+    tenant: str
+    query_id: int
+    connection: int
+
+
+RuntimeEvent = Union[QueryArrival, QueryCompletion]

@@ -1,0 +1,93 @@
+"""Per-tenant service metrics for event-driven scheduling rounds.
+
+A closed batch is judged by one number (makespan); a multi-tenant service
+with streaming arrivals needs per-tenant makespans *and* per-query latency
+percentiles (time from arrival to completion), which is what operators of a
+shared cluster actually answer for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+from .runtime import ExecutionRuntime
+
+__all__ = ["TenantReport", "ServiceReport"]
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Completion metrics of one tenant's round."""
+
+    tenant: str
+    num_queries: int
+    makespan: float
+    mean_latency: float
+    p50_latency: float
+    p90_latency: float
+    p99_latency: float
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "num_queries": self.num_queries,
+            "makespan": self.makespan,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p90_latency": self.p90_latency,
+            "p99_latency": self.p99_latency,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Service-level summary across every tenant of a runtime round."""
+
+    strategy: str
+    total_time: float
+    tenants: tuple[TenantReport, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_runtime(cls, runtime: ExecutionRuntime, strategy: str = "service") -> "ServiceReport":
+        """Summarise a finished runtime round."""
+        if not runtime.is_done:
+            raise SchedulingError("the runtime round has not finished yet")
+        reports = []
+        for name, session in runtime.sessions().items():
+            latencies = np.array(sorted(session.latencies().values()), dtype=np.float64)
+            reports.append(
+                TenantReport(
+                    tenant=name,
+                    num_queries=len(session.finished),
+                    makespan=session.makespan,
+                    mean_latency=float(latencies.mean()),
+                    p50_latency=float(np.percentile(latencies, 50)),
+                    p90_latency=float(np.percentile(latencies, 90)),
+                    p99_latency=float(np.percentile(latencies, 99)),
+                )
+            )
+        return cls(strategy=strategy, total_time=runtime.current_time, tenants=tuple(reports))
+
+    @property
+    def max_makespan(self) -> float:
+        return max((tenant.makespan for tenant in self.tenants), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "total_time": self.total_time,
+            "tenants": [tenant.as_dict() for tenant in self.tenants],
+        }
+
+    def __str__(self) -> str:
+        lines = [f"ServiceReport(strategy={self.strategy}, total_time={self.total_time:.2f}s)"]
+        for tenant in self.tenants:
+            lines.append(
+                f"  {tenant.tenant:<12} n={tenant.num_queries:<4} makespan={tenant.makespan:7.2f}s  "
+                f"latency mean={tenant.mean_latency:6.2f}s p50={tenant.p50_latency:6.2f}s "
+                f"p90={tenant.p90_latency:6.2f}s p99={tenant.p99_latency:6.2f}s"
+            )
+        return "\n".join(lines)

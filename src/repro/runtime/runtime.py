@@ -1,0 +1,483 @@
+"""The event-driven execution runtime: multi-tenant rounds on one backend.
+
+BQSched is non-intrusive: the scheduler only submits queries to connections
+and observes completion events.  :class:`ExecutionRuntime` makes that
+interface literal.  It owns ONE backend session per round — the fluid-model
+engine or the learned simulator — and multiplexes it between N *tenants*:
+independent batch query sets that share the engine's connections, buffer
+pool and contention model while keeping their own pending sets, logs and
+metrics.  The runtime advances the engine to the next event (a query
+completion, or a scheduled streaming arrival from the
+:class:`~repro.runtime.EventQueue`) and dispatches it to the owning tenant.
+
+Tenants interact through :class:`TenantSession`, which speaks exactly the
+session protocol :class:`~repro.core.env.SchedulingEnv` already consumes —
+the environment is a thin runtime client, and single-tenant closed-batch
+rounds through the runtime are bit-for-bit identical to driving the engine
+session directly (verified by digest in ``tests/test_runtime.py``).
+
+Global/local id mapping: tenant batches are concatenated in registration
+order into one union batch, so tenant ``t`` with offset ``o`` owns global
+ids ``[o, o + len(batch))``; every event a tenant sees carries its *local*
+id, which is what keeps per-tenant logs disjoint and self-consistent.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..dbms.logs import QueryExecutionRecord, RoundLog
+from ..exceptions import SchedulingError
+from ..workloads import ArrivalProcess, BatchQuerySet
+from .events import QueryArrival, QueryCompletion, RuntimeEvent
+from .queue import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.params import RunningParameters
+
+__all__ = ["ExecutionRuntime", "RuntimeTenant", "TenantSession"]
+
+_ARRIVAL_SEED = 0xA881
+
+
+@dataclass
+class _TenantState:
+    """Registration-time description of one tenant."""
+
+    name: str
+    batch: BatchQuerySet
+    arrivals: "ArrivalProcess | np.ndarray | None"
+    offset: int
+    session: "TenantSession | None" = None
+    claimed: bool = False
+
+
+class ExecutionRuntime:
+    """Advances one shared backend session and dispatches events to tenants."""
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self._tenants: dict[str, _TenantState] = {}
+        self._offsets: list[int] = []
+        self._order: list[str] = []
+        self.events = EventQueue()
+        self._shared = None
+
+    # ------------------------------------------------------------------ #
+    # Tenant registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        batch: BatchQuerySet,
+        arrivals: "ArrivalProcess | Sequence[float] | None" = None,
+    ) -> "RuntimeTenant":
+        """Register a tenant before any round opens.
+
+        ``arrivals`` opens the tenant's batch into a stream: either an
+        :class:`~repro.workloads.ArrivalProcess` (re-sampled every round) or
+        explicit per-query arrival times.  ``None`` keeps the closed-batch
+        scenario (everything pending at time zero).
+        """
+        if self._shared is not None:
+            raise SchedulingError("tenants must register before the first round opens")
+        if name in self._tenants:
+            raise SchedulingError(f"tenant {name!r} is already registered")
+        if arrivals is not None and not isinstance(arrivals, ArrivalProcess):
+            arrivals = np.asarray(list(arrivals), dtype=np.float64)
+            if arrivals.shape != (len(batch),):
+                raise SchedulingError("explicit arrival times must provide one time per query")
+            if (arrivals < 0).any():
+                raise SchedulingError("arrival times must be >= 0")
+        offset = sum(len(state.batch) for state in self._tenants.values())
+        self._tenants[name] = _TenantState(name=name, batch=batch, arrivals=arrivals, offset=offset)
+        self._offsets.append(offset)
+        self._order.append(name)
+        return RuntimeTenant(self, name)
+
+    def tenant(self, name: str) -> "RuntimeTenant":
+        """Handle for an already-registered tenant."""
+        if name not in self._tenants:
+            raise SchedulingError(f"unknown tenant {name!r}")
+        return RuntimeTenant(self, name)
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self._tenants)
+
+    @property
+    def tenant_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def shared_session(self):
+        """The backend session of the current round (read-only access)."""
+        if self._shared is None:
+            raise SchedulingError("no round is open")
+        return self._shared
+
+    def sessions(self) -> "dict[str, TenantSession]":
+        """The live tenant sessions of the current round."""
+        if self._shared is None:
+            raise SchedulingError("no round is open")
+        return {name: self._tenants[name].session for name in self._order}
+
+    # ------------------------------------------------------------------ #
+    # Round lifecycle
+    # ------------------------------------------------------------------ #
+    def open_for(
+        self,
+        name: str,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+    ) -> "TenantSession":
+        """Open (or join) a round on behalf of tenant ``name``.
+
+        The first tenant to ask opens the shared round with its parameters;
+        the remaining tenants join it and their ``round_id``/``strategy``
+        arguments are ignored.  Once every tenant's round is complete, the
+        next call opens a fresh round.  A lone tenant may abandon an
+        unfinished round (the RL training loop resets mid-episode during
+        evaluation); with multiple live tenants that would corrupt the peers'
+        rounds and raises instead.
+        """
+        if name not in self._tenants:
+            raise SchedulingError(f"unknown tenant {name!r}")
+        state = self._tenants[name]
+        if len(batch) != len(state.batch):
+            raise SchedulingError(
+                f"tenant {name!r} registered {len(state.batch)} queries but requested {len(batch)}"
+            )
+        if self._shared is not None:
+            if not state.claimed:
+                state.claimed = True
+                return state.session
+            others_done = all(
+                other.session is None or other.session.is_done
+                for other in self._tenants.values()
+                if other.name != name
+            )
+            if not others_done:
+                raise SchedulingError(
+                    f"tenant {name!r} cannot reopen: peers are still scheduling in the shared round"
+                )
+        self._open_round(num_connections=num_connections, strategy=strategy, round_id=round_id)
+        state.claimed = True
+        return state.session
+
+    def _open_round(self, num_connections: int | None, strategy: str, round_id: int | None) -> None:
+        union = BatchQuerySet([query for name in self._order for query in self._tenants[name].batch])
+        self._shared = self.backend.new_session(
+            union,
+            num_connections=num_connections,
+            strategy=strategy,
+            round_id=round_id,
+        )
+        self.events.clear()
+        opened_round_id = self._shared.log.round_id
+        for state in self._tenants.values():
+            times = self._arrival_times(state, opened_round_id)
+            state.session = TenantSession(self, state, arrival_times=times)
+            state.claimed = False
+            if times is not None:
+                deferred = [state.offset + i for i in range(len(state.batch)) if times[i] > 0.0]
+                self._shared.defer(deferred)
+                for i in range(len(state.batch)):
+                    if times[i] > 0.0:
+                        self.events.push(QueryArrival(time=float(times[i]), tenant=state.name, query_id=i))
+
+    def _arrival_times(self, state: _TenantState, round_id: int) -> "np.ndarray | None":
+        if state.arrivals is None:
+            return None
+        if isinstance(state.arrivals, ArrivalProcess):
+            rng = np.random.default_rng((_ARRIVAL_SEED, round_id, state.offset))
+            return np.asarray(state.arrivals.times(len(state.batch), rng), dtype=np.float64)
+        return state.arrivals
+
+    @property
+    def _round_done(self) -> bool:
+        return self._shared is not None and self._shared.is_done
+
+    @property
+    def is_done(self) -> bool:
+        """Whether the current round has drained every tenant's work."""
+        return self._round_done
+
+    @property
+    def current_time(self) -> float:
+        return self.shared_session.current_time
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def advance(self) -> RuntimeEvent:
+        """Advance the engine to the next event, dispatch it, and return it.
+
+        The next event is either the earliest query completion the backend
+        predicts, or the earliest scheduled arrival — whichever comes first.
+        Ties resolve in favour of the completion (its finish instant is at or
+        before the arrival's), which keeps the closed single-tenant path
+        identical to driving the engine session directly.
+        """
+        shared = self.shared_session
+        next_arrival = self.events.peek_time()
+        if shared.num_running:
+            completion = shared.advance(limit=next_arrival)
+            if completion is not None:
+                return self._dispatch_completion(completion)
+        elif next_arrival is None:
+            raise SchedulingError("cannot advance: nothing is running and no arrival is scheduled")
+        else:
+            shared.advance(limit=next_arrival)
+        return self._release_next_arrival()
+
+    def _release_next_arrival(self) -> QueryArrival:
+        event = self.events.pop()
+        state = self._tenants[event.tenant]
+        self.shared_session.release(state.offset + event.query_id)
+        state.session._on_arrival(event)
+        return event
+
+    def _dispatch_completion(self, completion: CompletionEvent) -> QueryCompletion:
+        state, local_id = self._locate(completion.query_id)
+        record = self.shared_session.log.records[-1]
+        event = QueryCompletion(
+            time=completion.finish_time,
+            tenant=state.name,
+            query_id=local_id,
+            connection=completion.connection,
+        )
+        state.session._on_completion(event, record)
+        return event
+
+    def _locate(self, global_id: int) -> tuple[_TenantState, int]:
+        index = bisect_right(self._offsets, global_id) - 1
+        if index < 0:
+            raise SchedulingError(f"global query id {global_id} belongs to no tenant")
+        state = self._tenants[self._order[index]]
+        local_id = global_id - state.offset
+        if not 0 <= local_id < len(state.batch):
+            raise SchedulingError(f"global query id {global_id} belongs to no tenant")
+        return state, local_id
+
+
+class RuntimeTenant:
+    """Per-tenant backend facade satisfying the ``SessionBackend`` protocol.
+
+    Handing a :class:`RuntimeTenant` to :class:`~repro.core.env.SchedulingEnv`
+    as its backend makes the environment a client of the shared runtime:
+    ``new_session`` opens (or joins) the runtime's shared round and returns
+    the tenant's :class:`TenantSession`.
+    """
+
+    def __init__(self, runtime: ExecutionRuntime, name: str) -> None:
+        self.runtime = runtime
+        self.name = name
+
+    def new_session(
+        self,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+    ) -> "TenantSession":
+        return self.runtime.open_for(
+            self.name,
+            batch,
+            num_connections=num_connections,
+            strategy=strategy,
+            round_id=round_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"RuntimeTenant({self.name!r}, tenants={self.runtime.num_tenants})"
+
+
+class TenantSession:
+    """One tenant's view of a shared runtime round.
+
+    Exposes the same session protocol as the raw engine/simulator sessions
+    (pending/running/finished bookkeeping, ``submit``, ``advance``, a round
+    log) but scoped to the tenant's local query ids, delegating execution to
+    the shared backend session through the runtime.  ``advance`` pumps the
+    runtime's event loop until *this* tenant receives an event or can make a
+    scheduling decision again.
+    """
+
+    def __init__(self, runtime: ExecutionRuntime, state: _TenantState, arrival_times) -> None:
+        self._runtime = runtime
+        self._state = state
+        self.name = state.name
+        self.batch = state.batch
+        shared = runtime.shared_session
+        self.num_connections = shared.num_connections
+        self.log = RoundLog(round_id=shared.log.round_id, strategy=shared.log.strategy)
+        self._arrival_times = arrival_times
+        if arrival_times is None:
+            self.pending = [query.query_id for query in state.batch]
+            self._unarrived: set[int] = set()
+        else:
+            self.pending = [query.query_id for query in state.batch if arrival_times[query.query_id] <= 0.0]
+            self._unarrived = {query.query_id for query in state.batch if arrival_times[query.query_id] > 0.0}
+        self._running: set[int] = set()
+        self.finished: dict[int, float] = {}
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def _shared(self):
+        return self._runtime.shared_session
+
+    @property
+    def supports_lockstep(self) -> bool:
+        """Whether the vectorized lockstep fast path may drive this session.
+
+        Only single-tenant closed rounds on a lockstep-capable backend (the
+        learned simulator) qualify: with peers or scheduled arrivals the
+        shared clock is not this tenant's to batch.
+        """
+        return (
+            self._runtime.num_tenants == 1
+            and not self._unarrived
+            and not self._runtime.events
+            and getattr(self._shared, "supports_lockstep", False)
+        )
+
+    # -- protocol properties -------------------------------------------- #
+    @property
+    def current_time(self) -> float:
+        return self._shared.current_time
+
+    @property
+    def is_done(self) -> bool:
+        return not self.pending and not self._running and not self._unarrived
+
+    @property
+    def has_idle_connection(self) -> bool:
+        return self._shared.has_idle_connection
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finished.values(), default=0.0)
+
+    def unarrived_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._unarrived))
+
+    def arrival_time(self, query_id: int) -> float:
+        """When the query arrives (0.0 in the closed scenario)."""
+        if self._arrival_times is None:
+            return 0.0
+        return float(self._arrival_times[query_id])
+
+    def pending_queries(self):
+        return [self.batch[i] for i in self.pending]
+
+    def running_states(self) -> list[RunningQueryState]:
+        offset = self._state.offset
+        states = []
+        for global_id, state in self._shared.running.items():
+            local_id = global_id - offset
+            if local_id in self._running:
+                if offset == 0:
+                    states.append(state)
+                else:
+                    states.append(
+                        RunningQueryState(
+                            query=self.batch[local_id],
+                            parameters=state.parameters,
+                            connection=state.connection,
+                            submit_time=state.submit_time,
+                            remaining_work=state.remaining_work,
+                            total_work=state.total_work,
+                        )
+                    )
+        return states
+
+    # -- protocol methods ------------------------------------------------ #
+    def submit(self, query_id: int, parameters: "RunningParameters") -> int:
+        if query_id not in self.pending:
+            raise SchedulingError(f"query {query_id} is not pending for tenant {self.name!r}")
+        connection = self._shared.submit(self._state.offset + query_id, parameters)
+        self.pending.remove(query_id)
+        self._running.add(query_id)
+        return connection
+
+    def advance(self, limit: float | None = None) -> "RuntimeEvent | None":
+        """Pump the runtime until this tenant gets an event or can decide.
+
+        Peers' events are dispatched to them along the way.  Returns the
+        event this tenant received, or ``None`` when a peer's completion
+        freed a connection this tenant can now use.
+        """
+        if self.is_done:
+            raise SchedulingError(f"tenant {self.name!r} has no more work in this round")
+        while True:
+            event = self._runtime.advance()
+            if event.tenant == self.name:
+                return event
+            if self.has_pending and self._shared.has_idle_connection:
+                return None
+
+    # -- lockstep delegation (vectorized simulator rollouts) ------------- #
+    @property
+    def simulator(self):
+        return self._shared.simulator
+
+    def advance_features(self):
+        return self._shared.advance_features()
+
+    def apply_advance(self, states, logits, times) -> None:
+        completion = self._shared.apply_advance(states, logits, times)
+        self._runtime._dispatch_completion(completion)
+
+    # -- event sinks ------------------------------------------------------ #
+    def _on_arrival(self, event: QueryArrival) -> None:
+        self._unarrived.discard(event.query_id)
+        self.pending.append(event.query_id)
+
+    def _on_completion(self, event: QueryCompletion, record: QueryExecutionRecord) -> None:
+        self._running.discard(event.query_id)
+        self.finished[event.query_id] = event.time
+        if self._state.offset == 0:
+            self.log.add(record)
+        else:
+            self.log.add(
+                QueryExecutionRecord(
+                    query_id=event.query_id,
+                    query_name=record.query_name,
+                    template_id=record.template_id,
+                    connection=record.connection,
+                    parameters=record.parameters,
+                    submit_time=record.submit_time,
+                    finish_time=record.finish_time,
+                )
+            )
+
+    # -- metrics ----------------------------------------------------------- #
+    def latencies(self) -> dict[int, float]:
+        """Per-query latency: finish time minus arrival time."""
+        return {
+            query_id: finish - self.arrival_time(query_id)
+            for query_id, finish in self.finished.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantSession({self.name!r}, pending={len(self.pending)}, "
+            f"running={len(self._running)}, finished={len(self.finished)}, "
+            f"unarrived={len(self._unarrived)})"
+        )

@@ -1,5 +1,13 @@
 """Synthetic benchmark workloads (TPC-DS, TPC-H, JOB) and batch query sets."""
 
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrival_process,
+)
 from .base import BatchQuerySet, Query, Workload
 from .generator import BENCHMARKS, make_workload, perturb_workload
 from .job import JOB_TABLES, NUM_JOB_TEMPLATES, build_job_catalog, build_job_specs
@@ -13,6 +21,12 @@ from .tpcds import (
 from .tpch import TPCH_TABLES, build_tpch_catalog, build_tpch_specs
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ClosedArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "make_arrival_process",
     "BatchQuerySet",
     "Query",
     "Workload",

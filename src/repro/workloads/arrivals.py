@@ -1,0 +1,130 @@
+"""Open arrival processes for streaming query workloads.
+
+The paper's experiments are *closed*: the whole batch query set is pending at
+time zero.  Production pipelines are rarely that tidy — queries trickle in
+from upstream jobs, dashboards and users.  An :class:`ArrivalProcess` turns a
+batch query set into an *open* stream by assigning every query an arrival
+time; the event-driven runtime (:mod:`repro.runtime`) releases each query
+into its tenant's pending set when the clock reaches that time, and the
+scheduler keeps deciding over the growing pending set.
+
+Three processes cover the scenarios the related open-stream schedulers train
+on: Poisson arrivals (memoryless steady load), bursty arrivals (queries land
+in clumps, the hard case for contention), and trace arrivals (replay of a
+recorded submission log).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "make_arrival_process",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Assigns an arrival time to each query of a batch."""
+
+    @abc.abstractmethod
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``num_queries`` arrival times (seconds from round start)."""
+
+    def _validate(self, num_queries: int) -> None:
+        if num_queries < 1:
+            raise WorkloadError("an arrival process needs at least one query")
+
+
+class ClosedArrivals(ArrivalProcess):
+    """The paper's closed-batch scenario: everything arrives at time zero."""
+
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(num_queries)
+        return np.zeros(num_queries, dtype=np.float64)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate`` queries per second.
+
+    The first query arrives at time zero so a round always has work to start
+    on; subsequent inter-arrival gaps are exponential with mean ``1/rate``.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        self.rate = rate
+
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(num_queries)
+        gaps = rng.exponential(1.0 / self.rate, size=num_queries)
+        gaps[0] = 0.0
+        return np.cumsum(gaps)
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Arrivals in bursts of ``burst_size`` queries.
+
+    Burst epochs follow a Poisson process whose rate is scaled so the
+    *long-run query rate* still equals ``rate``; every query of a burst lands
+    at the same instant.  This is the contention-heavy open scenario: the
+    scheduler suddenly has ``burst_size`` new pending queries to order.
+    """
+
+    def __init__(self, rate: float, burst_size: int = 4) -> None:
+        if rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        if burst_size < 1:
+            raise WorkloadError("burst_size must be >= 1")
+        self.rate = rate
+        self.burst_size = burst_size
+
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(num_queries)
+        num_bursts = -(-num_queries // self.burst_size)
+        gaps = rng.exponential(self.burst_size / self.rate, size=num_bursts)
+        gaps[0] = 0.0
+        epochs = np.cumsum(gaps)
+        return np.repeat(epochs, self.burst_size)[:num_queries]
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay of recorded arrival times (e.g. from a production submit log)."""
+
+    def __init__(self, trace: Sequence[float]) -> None:
+        times = np.asarray(list(trace), dtype=np.float64)
+        if times.size == 0:
+            raise WorkloadError("arrival trace must not be empty")
+        if (times < 0).any():
+            raise WorkloadError("arrival times must be >= 0")
+        self.trace = times
+
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(num_queries)
+        if num_queries > self.trace.size:
+            raise WorkloadError(
+                f"trace has {self.trace.size} arrivals but the batch needs {num_queries}"
+            )
+        return self.trace[:num_queries].copy()
+
+
+def make_arrival_process(name: str, rate: float = 2.0, burst_size: int = 4) -> ArrivalProcess:
+    """Build an arrival process from its configuration name."""
+    name = name.lower()
+    if name == "closed":
+        return ClosedArrivals()
+    if name == "poisson":
+        return PoissonArrivals(rate)
+    if name == "bursty":
+        return BurstyArrivals(rate, burst_size=burst_size)
+    raise WorkloadError(f"unknown arrival process {name!r}; expected closed, poisson or bursty")

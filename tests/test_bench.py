@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import (
@@ -93,3 +92,51 @@ class TestPaperValues:
     def test_fig7_masking_is_largest_ablation_hit(self):
         ablation = paper_values.FIG7_ABLATION_RELATIVE
         assert ablation["w/o adaptive masking"] == max(ablation.values())
+
+
+class TestJsonReporting:
+    def test_write_json_report_roundtrip(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.bench import write_json_report
+        from repro.bench.reporting import SCHEMA_VERSION
+
+        payload = {
+            "rows": [["FIFO", "1.00"]],
+            "mean": np.float64(2.5),
+            "series": np.arange(3),
+            "nested": {"count": 4, "flag": True, "none": None},
+        }
+        path = write_json_report("unit_test", payload, directory=tmp_path)
+        assert path == tmp_path / "unit_test.json"
+        with path.open(encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["benchmark"] == "unit_test"
+        assert document["payload"]["mean"] == 2.5
+        assert document["payload"]["series"] == [0, 1, 2]
+        assert document["payload"]["nested"] == {"count": 4, "flag": True, "none": None}
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        from repro.bench import results_dir, write_json_report
+
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "out"))
+        assert results_dir() == tmp_path / "out"
+        path = write_json_report("env_test", {"ok": 1})
+        assert path.parent == tmp_path / "out"
+        assert path.exists()
+
+    def test_evaluate_service_runs_end_to_end(self):
+        from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+        from repro.bench import evaluate_service
+        from repro.core import LSchedScheduler
+
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        scheduler = LSchedScheduler(workload, engine, BQSchedConfig.small(seed=0))
+        report = evaluate_service(scheduler, num_tenants=2, arrival_process="bursty", arrival_rate=4.0)
+        assert len(report.tenants) == 2
+        for tenant in report.tenants:
+            assert tenant.num_queries == workload.num_queries

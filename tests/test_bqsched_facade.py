@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import BQSched, BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
 from repro.config import PPOConfig
-from repro.core import LSchedScheduler, MCFScheduler, FIFOScheduler
+from repro.core import LSchedScheduler, FIFOScheduler
 
 
 @pytest.fixture(scope="module")

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import MaskingConfig
 from repro.core import (
     AdaptiveMask,
-    ExternalKnowledge,
     FIFOScheduler,
     MCFScheduler,
     RandomScheduler,

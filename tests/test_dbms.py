@@ -9,7 +9,6 @@ from repro.config import SchedulerConfig
 from repro.dbms import (
     BufferPool,
     ConfigurationSpace,
-    DatabaseEngine,
     DBMSProfile,
     ExecutionLog,
     QueryExecutionRecord,

@@ -16,7 +16,6 @@ from repro.core import (
     cluster_queries,
     compute_scheduling_gains,
 )
-from repro.core.simulator import SimulatedSession
 from repro.dbms import RunningParameters
 from repro.exceptions import SchedulingError, SimulationError
 

@@ -16,9 +16,7 @@ from repro.nn import (
     LayerNorm,
     Linear,
     MLP,
-    Module,
     MultiHeadAttention,
-    Parameter,
     SGD,
     Sequential,
     Tensor,

@@ -23,7 +23,6 @@ from repro.plans import (
 from repro.workloads import (
     BatchQuerySet,
     NUM_JOB_TEMPLATES,
-    Query,
     TPCDS_HEAVY_TEMPLATES,
     TPCDS_TABLES,
     build_tpcds_catalog,

@@ -1,0 +1,432 @@
+"""Tests for the event-driven runtime: queue, arrivals, tenants, digests."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.core import (
+    AdaptiveMask,
+    ExternalKnowledge,
+    FIFOScheduler,
+    LSchedScheduler,
+    MCFScheduler,
+    RandomScheduler,
+    SchedulingEnv,
+)
+from repro.dbms import ConfigurationSpace
+from repro.exceptions import SchedulingError, WorkloadError
+from repro.runtime import (
+    EventQueue,
+    ExecutionRuntime,
+    QueryArrival,
+    QueryCompletion,
+    ServiceReport,
+    TenantSession,
+)
+from repro.workloads import (
+    BurstyArrivals,
+    ClosedArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrival_process,
+)
+
+# SHA-256 of the per-round execution logs produced by the PRE-REFACTOR tree
+# (commit 5173d00) for the fixture scenario below: TPC-H sf1 seed 0 on DBMS-X
+# seed 0, 4 connections, unmasked small config.  The event-driven runtime must
+# reproduce these bit-for-bit on the single-tenant closed-batch path.
+_PRE_REFACTOR_DIGESTS = {
+    ("FIFO", 0): "0b624001a42f4fca04ac3d0e35cba535f3577af4bf95f48380249474d9d37a9a",
+    ("MCF", 1): "94765968bbc02a8497ef4d71b9497f499ff39c286d473f9fd642166168001073",
+    ("Random", 2): "53fc6f72815f3e4cfc181557a35a0f180209465b6467be0eed077ba88f922b8a",
+}
+
+
+def _digest(round_log) -> str:
+    sha = hashlib.sha256()
+    for r in round_log.records:
+        sha.update(
+            f"{r.query_id}|{r.connection}|{r.parameters.workers}|{r.parameters.memory_mb}|"
+            f"{r.submit_time!r}|{r.finish_time!r};".encode()
+        )
+    return sha.hexdigest()
+
+
+@pytest.fixture()
+def digest_env():
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    batch = workload.batch_query_set()
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 4
+    space = ConfigurationSpace(config.scheduler)
+    knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+    return SchedulingEnv(
+        batch=batch,
+        backend=engine,
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_insertion(self):
+        queue = EventQueue()
+        queue.push(QueryArrival(time=2.0, tenant="a", query_id=0))
+        queue.push(QueryArrival(time=1.0, tenant="b", query_id=1))
+        queue.push(QueryArrival(time=1.0, tenant="c", query_id=2))
+        assert queue.peek_time() == 1.0
+        assert queue.pop().tenant == "b"
+        assert queue.pop().tenant == "c"
+        assert queue.pop().tenant == "a"
+        assert not queue
+        assert queue.peek() is None and queue.peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(QueryArrival(time=-1.0, tenant="a", query_id=0))
+
+    def test_clear_and_len(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(QueryArrival(time=float(i), tenant="a", query_id=i))
+        assert len(queue) == 5
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestArrivalProcesses:
+    def test_closed_is_all_zero(self):
+        times = ClosedArrivals().times(7, np.random.default_rng(0))
+        assert times.shape == (7,) and (times == 0).all()
+
+    def test_poisson_is_reproducible_and_monotone(self):
+        process = PoissonArrivals(rate=2.0)
+        a = process.times(50, np.random.default_rng(3))
+        b = process.times(50, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+        assert a[0] == 0.0
+        assert (np.diff(a) >= 0).all()
+        # mean inter-arrival ~ 1/rate
+        assert 0.2 < np.diff(a).mean() < 1.2
+
+    def test_bursty_groups_queries(self):
+        process = BurstyArrivals(rate=4.0, burst_size=3)
+        times = process.times(9, np.random.default_rng(0))
+        assert times.shape == (9,)
+        # queries within one burst share an arrival instant
+        assert times[0] == times[1] == times[2] == 0.0
+        assert len(set(times.tolist())) == 3
+
+    def test_trace_truncates_and_validates(self):
+        process = TraceArrivals([0.0, 1.0, 2.5, 4.0])
+        np.testing.assert_array_equal(process.times(3, np.random.default_rng(0)), [0.0, 1.0, 2.5])
+        with pytest.raises(WorkloadError):
+            process.times(5, np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            TraceArrivals([-1.0])
+        with pytest.raises(WorkloadError):
+            TraceArrivals([])
+
+    def test_factory(self):
+        assert isinstance(make_arrival_process("closed"), ClosedArrivals)
+        assert isinstance(make_arrival_process("poisson", rate=1.0), PoissonArrivals)
+        assert isinstance(make_arrival_process("bursty", rate=1.0, burst_size=2), BurstyArrivals)
+        with pytest.raises(WorkloadError):
+            make_arrival_process("weibull")
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(rate=0.0)
+
+
+class TestSingleTenantDigest:
+    def test_closed_batch_through_runtime_matches_pre_refactor_tree(self, digest_env):
+        """The tentpole acceptance bar: the runtime path is bit-for-bit identical."""
+        schedulers = {
+            ("FIFO", 0): FIFOScheduler(),
+            ("MCF", 1): MCFScheduler(),
+            ("Random", 2): RandomScheduler(seed=7),
+        }
+        for (name, round_id), scheduler in schedulers.items():
+            result = scheduler.run_round(digest_env, round_id=round_id)
+            assert isinstance(digest_env.session, TenantSession)
+            assert _digest(result.round_log) == _PRE_REFACTOR_DIGESTS[(name, round_id)], name
+
+    def test_runtime_session_equals_direct_engine_session(self, digest_env):
+        """Driving the engine directly (no runtime) gives the identical log."""
+        result = FIFOScheduler().run_round(digest_env, round_id=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        direct = engine.execute_order(
+            digest_env.batch,
+            [q.query_id for q in digest_env.batch],
+            digest_env.config_space.default,
+            num_connections=4,
+            round_id=0,
+        )
+        assert _digest(direct) == _digest(result.round_log)
+
+
+class _FirstPendingPolicy:
+    """Deterministic stand-in scheduler: first arrived pending query, config 0."""
+
+    def act(self, env):
+        query_id = env.snapshot().pending_ids[0]
+        return env.encode_action(query_id, 0)
+
+
+def _drive_shared_round(runtime, envs):
+    """Serve-style event loop: at every event, every tenant that can decides."""
+    policy = _FirstPendingPolicy()
+    while True:
+        progressed = True
+        while progressed:
+            progressed = False
+            for env in envs:
+                while env.can_decide():
+                    env.begin_step(policy.act(env))
+                    progressed = True
+        if runtime.is_done:
+            break
+        runtime.advance()
+
+
+def _make_env(batch, tenant, config, space, knowledge):
+    return SchedulingEnv(
+        batch=batch,
+        backend=tenant,
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+        strategy_name="integration",
+    )
+
+
+class TestMultiTenantIntegration:
+    def test_two_closed_tenants_plus_poisson_stream_share_one_engine(self):
+        """Acceptance: >= 2 tenants + a Poisson stream, disjoint complete logs."""
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        config = BQSchedConfig.small(seed=0)
+        config.scheduler.num_connections = 6
+        space = ConfigurationSpace(config.scheduler)
+        knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+
+        runtime = ExecutionRuntime(engine)
+        tenants = [
+            runtime.register("closed-a", batch),
+            runtime.register("closed-b", batch),
+            runtime.register("stream", batch, arrivals=PoissonArrivals(rate=4.0)),
+        ]
+        envs = [_make_env(batch, tenant, config, space, knowledge) for tenant in tenants]
+        for env in envs:
+            env.reset(round_id=0)
+        _drive_shared_round(runtime, envs)
+
+        sessions = runtime.sessions()
+        shared_log = runtime.shared_session.log
+
+        # Complete: every tenant ran its whole batch exactly once, in its own
+        # local id space, and the round is fully drained.
+        assert runtime.is_done
+        for session in sessions.values():
+            assert session.is_done
+            assert sorted(r.query_id for r in session.log.records) == sorted(
+                q.query_id for q in batch
+            )
+            assert len(session.finished) == len(batch)
+            assert session.makespan > 0
+
+        # Disjoint: the tenant logs partition the shared engine log — every
+        # execution belongs to exactly one tenant.
+        shared_keys = sorted((r.submit_time, r.finish_time, r.connection) for r in shared_log)
+        tenant_keys = sorted(
+            (r.submit_time, r.finish_time, r.connection)
+            for session in sessions.values()
+            for r in session.log.records
+        )
+        assert len(shared_log) == 3 * len(batch)
+        assert tenant_keys == shared_keys
+
+        # The streaming tenant really streamed: its queries arrived over time
+        # and latency is measured from arrival, not round start.
+        stream = sessions["stream"]
+        assert max(stream.arrival_time(q.query_id) for q in batch) > 0
+        latencies = stream.latencies()
+        assert all(lat >= 0 for lat in latencies.values())
+        report = ServiceReport.from_runtime(runtime, strategy="integration")
+        assert len(report.tenants) == 3
+        assert report.max_makespan == pytest.approx(runtime.current_time)
+
+    def test_shared_contention_slows_tenants_down(self):
+        """Two tenants on one engine interfere; makespans exceed a lone round."""
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        config = BQSchedConfig.small(seed=0)
+        config.scheduler.num_connections = 6
+        space = ConfigurationSpace(config.scheduler)
+
+        def run(num_tenants):
+            engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+            knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+            runtime = ExecutionRuntime(engine)
+            tenants = [runtime.register(f"t{i}", batch) for i in range(num_tenants)]
+            envs = [_make_env(batch, tenant, config, space, knowledge) for tenant in tenants]
+            for env in envs:
+                env.reset(round_id=0)
+            _drive_shared_round(runtime, envs)
+            return max(session.makespan for session in runtime.sessions().values())
+
+        assert run(2) > run(1)
+
+    def test_reopen_rules(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        runtime = ExecutionRuntime(engine)
+        tenant_a = runtime.register("a", batch)
+        tenant_b = runtime.register("b", batch)
+        session_a = tenant_a.new_session(batch, num_connections=4, round_id=0)
+        session_b = tenant_b.new_session(batch, num_connections=4, round_id=0)
+        assert session_a is not session_b
+        # a cannot reopen while b is still mid-round
+        session_a.submit(0, ConfigurationSpace(BQSchedConfig.small().scheduler)[0])
+        with pytest.raises(SchedulingError):
+            tenant_a.new_session(batch, num_connections=4, round_id=1)
+        # registration after the round opened is rejected
+        with pytest.raises(SchedulingError):
+            runtime.register("late", batch)
+
+    def test_advance_without_work_raises(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        runtime = ExecutionRuntime(engine)
+        tenant = runtime.register("solo", batch)
+        tenant.new_session(batch, num_connections=4, round_id=0)
+        with pytest.raises(SchedulingError):
+            runtime.advance()
+
+
+class TestStreamingEnv:
+    def test_open_round_through_env_step_loop(self):
+        """A single streaming tenant works through the plain env.step loop."""
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        config = BQSchedConfig.small(seed=0)
+        space = ConfigurationSpace(config.scheduler)
+        knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+        env = SchedulingEnv(
+            batch=batch,
+            backend=engine,
+            scheduler_config=config.scheduler,
+            config_space=space,
+            knowledge=knowledge,
+            mask=AdaptiveMask.unmasked(len(batch), len(space)),
+            arrivals=PoissonArrivals(rate=3.0),
+        )
+        snapshot = env.reset(round_id=0)
+        assert len(snapshot.pending_ids) + len(snapshot.unarrived_ids) == len(batch)
+        assert snapshot.unarrived_ids, "a Poisson stream must defer most arrivals"
+        unavailable = [info for info in snapshot.infos if not info.available]
+        assert all(info.time_to_available > 0 for info in unavailable)
+        # the action mask only exposes arrived queries
+        mask = env.action_mask()
+        exposed = {action // env.num_configs for action in np.nonzero(mask)[0]}
+        assert exposed == set(snapshot.pending_ids)
+
+        result = FIFOScheduler().run_round(env, round_id=1)
+        assert len(result.round_log) == len(batch)
+        # streaming stretches the round: it cannot finish before the last arrival
+        last_arrival = max(env.session.arrival_time(q.query_id) for q in batch)
+        assert result.makespan >= last_arrival
+
+    def test_arrival_times_resample_per_round(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        batch = workload.batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        config = BQSchedConfig.small(seed=0)
+        space = ConfigurationSpace(config.scheduler)
+        knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+        env = SchedulingEnv(
+            batch=batch,
+            backend=engine,
+            scheduler_config=config.scheduler,
+            config_space=space,
+            knowledge=knowledge,
+            arrivals=PoissonArrivals(rate=3.0),
+        )
+        env.reset(round_id=0)
+        first = [env.session.arrival_time(q.query_id) for q in batch]
+        FIFOScheduler().run_round(env, round_id=0)
+        env.reset(round_id=1)
+        second = [env.session.arrival_time(q.query_id) for q in batch]
+        assert first != second
+        env.reset(round_id=0)
+        assert [env.session.arrival_time(q.query_id) for q in batch] == first
+
+
+class TestServeFacade:
+    def test_serve_closed_and_streaming(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        scheduler = LSchedScheduler(workload, engine, BQSchedConfig.small(seed=0))
+        report = scheduler.serve(num_tenants=2, arrivals=None, num_connections=8)
+        assert len(report.tenants) == 2
+        for tenant in report.tenants:
+            assert tenant.num_queries == len(scheduler.batch)
+            assert tenant.p50_latency <= tenant.p90_latency <= tenant.p99_latency
+        streamed = scheduler.serve(num_tenants=2, arrivals="poisson", num_connections=8)
+        assert len(streamed.tenants) == 2
+        assert streamed.total_time > 0
+        as_dict = streamed.as_dict()
+        assert {t["tenant"] for t in as_dict["tenants"]} == {"tenant-0", "tenant-1"}
+
+    def test_serve_rejects_bad_tenant_count(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        scheduler = LSchedScheduler(workload, engine, BQSchedConfig.small(seed=0))
+        with pytest.raises(SchedulingError):
+            scheduler.serve(num_tenants=0)
+
+
+class TestMaskExtension:
+    def test_extended_allows_everything_for_new_queries(self):
+        mask = AdaptiveMask(num_queries=2, num_configs=3, allowed={0: [0], 1: [0, 2]})
+        grown = mask.extended(4)
+        assert grown.num_queries == 4
+        assert grown.allowed_configs(0) == [0]
+        assert grown.allowed_configs(1) == [0, 2]
+        assert grown.allowed_configs(2) == [0, 1, 2]
+        assert grown.allowed_configs(3) == [0, 1, 2]
+        assert mask.extended(2) is mask
+        with pytest.raises(SchedulingError):
+            mask.extended(1)
+
+    def test_env_grows_undersized_mask_to_batch(self, digest_env):
+        batch = digest_env.batch
+        small_mask = AdaptiveMask(num_queries=2, num_configs=digest_env.num_configs, allowed={0: [0]})
+        env = SchedulingEnv(
+            batch=batch,
+            backend=DatabaseEngine(DBMSProfile.dbms_x(), seed=0),
+            scheduler_config=digest_env.scheduler_config,
+            config_space=digest_env.config_space,
+            knowledge=digest_env.knowledge,
+            mask=small_mask,
+        )
+        assert env.mask.num_queries == len(batch)
+        assert env.mask.allowed_configs(0) == [0]
+        assert env.mask.allowed_configs(len(batch) - 1) == list(range(env.num_configs))
+        result = FIFOScheduler().run_round(env, round_id=0)
+        assert len(result.round_log) == len(batch)

@@ -1,0 +1,123 @@
+"""Conformance tests for the tightened ``SessionBackend`` protocol.
+
+The environment is backend-agnostic through two typed protocols in
+``repro.core.env``: ``SessionBackend`` (things that open rounds) and
+``SchedulingSession`` (the live rounds themselves).  These tests pin the
+signature and assert that every production implementation — the real engine,
+the learned simulator, and the runtime tenant — actually satisfies both.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.core import ExternalKnowledge, SchedulingSession, SessionBackend
+from repro.core.simulator import LearnedSimulator, SimulatedSession
+from repro.dbms import ConfigurationSpace, RunningParameters
+from repro.dbms.engine import ExecutionSession
+from repro.encoder import PlanEmbeddingCache, QueryFormer
+from repro.plans import PlanFeaturizer
+from repro.runtime import ExecutionRuntime, RuntimeTenant, TenantSession
+
+_PROTOCOL_PARAMETERS = {
+    "batch": inspect.Parameter.empty,
+    "num_connections": None,
+    "strategy": "",
+    "round_id": None,
+}
+
+
+@pytest.fixture(scope="module")
+def parts():
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    batch = workload.batch_query_set()
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    config = BQSchedConfig.small(seed=0)
+    space = ConfigurationSpace(config.scheduler)
+    knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+    rng = np.random.default_rng(0)
+    queryformer = QueryFormer(PlanFeaturizer(workload.catalog), config.encoder, rng)
+    embeddings = PlanEmbeddingCache(queryformer).embeddings_for(batch)
+    simulator = LearnedSimulator(batch, embeddings, knowledge, space, config.simulator, seed=0)
+    return batch, engine, simulator, space
+
+
+def _check_new_session_signature(backend_cls) -> None:
+    signature = inspect.signature(backend_cls.new_session)
+    parameters = dict(signature.parameters)
+    parameters.pop("self", None)
+    for name, default in _PROTOCOL_PARAMETERS.items():
+        assert name in parameters, f"{backend_cls.__name__}.new_session is missing {name!r}"
+        parameter = parameters.pop(name)
+        assert parameter.default == default, (
+            f"{backend_cls.__name__}.new_session({name}) default is {parameter.default!r}, "
+            f"protocol requires {default!r}"
+        )
+    # Extra parameters beyond the protocol must be optional, so a protocol-only
+    # caller (the environment, the runtime) can always invoke the backend.
+    for name, parameter in parameters.items():
+        assert parameter.default is not inspect.Parameter.empty, (
+            f"{backend_cls.__name__}.new_session has a required extra parameter {name!r}"
+        )
+
+
+class TestBackendConformance:
+    def test_signatures(self):
+        for backend_cls in (DatabaseEngine, LearnedSimulator, RuntimeTenant):
+            _check_new_session_signature(backend_cls)
+
+    def test_engine_satisfies_protocol(self, parts):
+        batch, engine, _, _ = parts
+        assert isinstance(engine, SessionBackend)
+        session = engine.new_session(batch, num_connections=4, strategy="probe", round_id=0)
+        assert isinstance(session, ExecutionSession)
+        assert isinstance(session, SchedulingSession)
+
+    def test_simulator_satisfies_protocol(self, parts):
+        batch, _, simulator, _ = parts
+        assert isinstance(simulator, SessionBackend)
+        session = simulator.new_session(batch, num_connections=4, strategy="probe", round_id=0)
+        assert isinstance(session, SimulatedSession)
+        assert isinstance(session, SchedulingSession)
+
+    def test_runtime_tenant_satisfies_protocol(self, parts):
+        batch, engine, _, _ = parts
+        tenant = ExecutionRuntime(engine).register("t", batch)
+        assert isinstance(tenant, SessionBackend)
+        session = tenant.new_session(batch, num_connections=4, strategy="probe", round_id=0)
+        assert isinstance(session, TenantSession)
+        assert isinstance(session, SchedulingSession)
+
+
+class TestSessionBehaviouralParity:
+    """The protocol is behavioural, not just structural: every implementation
+    must run one round the same way from the environment's point of view."""
+
+    @pytest.mark.parametrize("kind", ["engine", "simulator", "tenant"])
+    def test_round_trip(self, parts, kind):
+        batch, engine, simulator, space = parts
+        if kind == "engine":
+            session = engine.new_session(batch, num_connections=3, round_id=5)
+        elif kind == "simulator":
+            session = simulator.new_session(batch, num_connections=3, round_id=5)
+        else:
+            session = ExecutionRuntime(engine).register("t", batch).new_session(
+                batch, num_connections=3, round_id=5
+            )
+        assert session.log.round_id == 5
+        assert not session.is_done and session.has_pending and session.has_idle_connection
+        assert session.unarrived_ids() == ()
+        assert session.arrival_time(0) == 0.0
+        parameters = RunningParameters(1, 64)
+        connection = session.submit(0, parameters)
+        assert isinstance(connection, int) and session.num_running == 1
+        assert 0 not in session.pending
+        states = session.running_states()
+        assert len(states) == 1 and states[0].query.query_id == 0
+        session.advance()
+        assert session.finished and session.current_time > 0
+        assert session.makespan == max(session.finished.values())
