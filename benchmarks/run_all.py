@@ -11,12 +11,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--profile quick|full]
                                                 [--results-dir DIR]
-                                                [--only PATTERN]
+                                                [--only PATTERN] [--skip PATTERN]
+
+``--only`` / ``--skip`` select benchmark files by name: plain substrings
+(``--only cluster``) or shell-style globs (``--only 'bench_table*'``); both
+may be repeated, and ``--skip`` wins over ``--only``.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import subprocess
@@ -28,10 +33,25 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
 
-def discover(pattern: str | None) -> list[Path]:
+def _matches(name: str, pattern: str) -> bool:
+    """Substring match, or fnmatch when the pattern carries glob characters."""
+    if any(char in pattern for char in "*?["):
+        return fnmatch.fnmatch(name, pattern)
+    return pattern in name
+
+
+def discover(
+    only: "list[str] | str | None" = None,
+    skip: "list[str] | str | None" = None,
+) -> list[Path]:
+    """Benchmark files to run, filtered by ``--only`` / ``--skip`` patterns."""
+    only = [only] if isinstance(only, str) else (only or [])
+    skip = [skip] if isinstance(skip, str) else (skip or [])
     files = sorted(BENCH_DIR.glob("bench_*.py"))
-    if pattern:
-        files = [path for path in files if pattern in path.name]
+    if only:
+        files = [path for path in files if any(_matches(path.name, pattern) for pattern in only)]
+    if skip:
+        files = [path for path in files if not any(_matches(path.name, pattern) for pattern in skip)]
     return files
 
 
@@ -63,11 +83,12 @@ def summarise(results_dir: Path) -> list[list[str]]:
             with path.open(encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            rows.append([path.name, "?", "unreadable"])
+            rows.append([path.name, "?", "?", "unreadable"])
             continue
         payload = document.get("payload", {})
         size = len(payload) if isinstance(payload, (dict, list)) else 1
-        rows.append([path.name, document.get("profile", "?"), f"{size} payload entries"])
+        schema = document.get("schema_version", "missing")
+        rows.append([path.name, str(schema), document.get("profile", "?"), f"{size} payload entries"])
     return rows
 
 
@@ -77,7 +98,10 @@ def main() -> int:
                         help="effort profile (default: REPRO_BENCH_PROFILE or quick)")
     parser.add_argument("--results-dir", default=None,
                         help="where JSON results land (default: REPRO_BENCH_RESULTS or benchmarks/results)")
-    parser.add_argument("--only", default=None, help="substring filter on benchmark file names")
+    parser.add_argument("--only", action="append", default=None, metavar="PATTERN",
+                        help="run only benchmarks matching PATTERN (substring or glob; repeatable)")
+    parser.add_argument("--skip", action="append", default=None, metavar="PATTERN",
+                        help="skip benchmarks matching PATTERN (substring or glob; repeatable)")
     args = parser.parse_args()
 
     env = dict(os.environ)
@@ -88,7 +112,7 @@ def main() -> int:
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
 
-    files = discover(args.only)
+    files = discover(only=args.only, skip=args.skip)
     if not files:
         print("no benchmarks matched", file=sys.stderr)
         return 2
@@ -105,8 +129,8 @@ def main() -> int:
     if not results_dir.is_absolute():
         results_dir = REPO_ROOT / results_dir
     print("\nCollected JSON results:")
-    for name, profile, info in summarise(results_dir):
-        print(f"  {name:<36} profile={profile:<6} {info}")
+    for name, schema, profile, info in summarise(results_dir):
+        print(f"  {name:<36} schema={schema:<3} profile={profile:<6} {info}")
 
     if failures:
         print(f"\n{len(failures)} benchmark file(s) failed: {', '.join(failures)}", file=sys.stderr)

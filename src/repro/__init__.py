@@ -42,14 +42,19 @@ from .workloads import (
     make_arrival_process,
     make_workload,
 )
-from .dbms import DatabaseEngine, DBMSProfile, ExecutionLog, RunningParameters
+from .dbms import Cluster, DatabaseEngine, DBMSProfile, ExecutionLog, RunningParameters
 from .runtime import ExecutionRuntime, RuntimeTenant, ServiceReport, TenantSession
+from .seeding import SeedSpawner
 from .core import (
     BQSched,
+    ClusterSchedulingEnv,
     FIFOScheduler,
+    GreedyCostPlacementScheduler,
+    LeastOutstandingWorkScheduler,
     LSchedScheduler,
     MCFScheduler,
     RandomScheduler,
+    RoundRobinPlacementScheduler,
     SchedulingEnv,
     SchedulingResult,
 )
@@ -81,15 +86,21 @@ __all__ = [
     "RuntimeTenant",
     "ServiceReport",
     "TenantSession",
+    "Cluster",
     "DatabaseEngine",
     "DBMSProfile",
     "ExecutionLog",
     "RunningParameters",
+    "SeedSpawner",
     "BQSched",
+    "ClusterSchedulingEnv",
     "FIFOScheduler",
+    "GreedyCostPlacementScheduler",
+    "LeastOutstandingWorkScheduler",
     "LSchedScheduler",
     "MCFScheduler",
     "RandomScheduler",
+    "RoundRobinPlacementScheduler",
     "SchedulingEnv",
     "SchedulingResult",
 ]

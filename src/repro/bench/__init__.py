@@ -4,7 +4,9 @@ from .harness import (
     BenchProfile,
     HEURISTICS,
     Scenario,
+    cluster_env,
     evaluate_heuristics,
+    evaluate_placement_baselines,
     evaluate_rl,
     evaluate_service,
     get_profile,
@@ -17,7 +19,9 @@ __all__ = [
     "BenchProfile",
     "HEURISTICS",
     "Scenario",
+    "cluster_env",
     "evaluate_heuristics",
+    "evaluate_placement_baselines",
     "evaluate_rl",
     "evaluate_service",
     "get_profile",

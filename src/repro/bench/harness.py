@@ -18,16 +18,20 @@ from ..core import (
     AdaptiveMask,
     BQSched,
     BaseScheduler,
+    ClusterSchedulingEnv,
     FIFOScheduler,
+    GreedyCostPlacementScheduler,
+    LeastOutstandingWorkScheduler,
     LSchedScheduler,
     MCFScheduler,
     RandomScheduler,
     RLSchedulerBase,
+    RoundRobinPlacementScheduler,
     SchedulingEnv,
     StrategyEvaluation,
 )
 from ..core.knowledge import ExternalKnowledge
-from ..dbms import ConfigurationSpace, DatabaseEngine, DBMSProfile
+from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, DBMSProfile
 from ..runtime import ServiceReport
 from ..workloads import Workload, make_arrival_process, make_workload
 
@@ -36,6 +40,7 @@ __all__ = [
     "Scenario",
     "get_profile",
     "evaluate_heuristics",
+    "evaluate_placement_baselines",
     "evaluate_rl",
     "evaluate_service",
     "run_strategy_comparison",
@@ -135,6 +140,38 @@ def evaluate_heuristics(
     """Evaluate Random / FIFO / MCF on one scenario."""
     env = _heuristic_env(workload, engine, config)
     schedulers: list[BaseScheduler] = [RandomScheduler(seed=seed), FIFOScheduler(), MCFScheduler()]
+    return {scheduler.name: scheduler.evaluate(env, rounds=rounds) for scheduler in schedulers}
+
+
+def cluster_env(workload: Workload, cluster: Cluster, config: BQSchedConfig) -> ClusterSchedulingEnv:
+    """An unmasked placement environment over ``cluster`` (probed knowledge)."""
+    batch = workload.batch_query_set()
+    config_space = ConfigurationSpace(config.scheduler)
+    knowledge = ExternalKnowledge.from_probes(cluster, batch, config_space)
+    return ClusterSchedulingEnv(
+        batch=batch,
+        backend=cluster,
+        scheduler_config=config.scheduler,
+        config_space=config_space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(config_space)),
+        strategy_name="placement-heuristic",
+    )
+
+
+def evaluate_placement_baselines(
+    workload: Workload,
+    cluster: Cluster,
+    config: BQSchedConfig,
+    rounds: int,
+) -> dict[str, StrategyEvaluation]:
+    """Evaluate the placement heuristics (RR / LOW / greedy-cost) on a fleet."""
+    env = cluster_env(workload, cluster, config)
+    schedulers: list[BaseScheduler] = [
+        RoundRobinPlacementScheduler(),
+        LeastOutstandingWorkScheduler(),
+        GreedyCostPlacementScheduler(),
+    ]
     return {scheduler.name: scheduler.evaluate(env, rounds=rounds) for scheduler in schedulers}
 
 

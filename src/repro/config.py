@@ -9,8 +9,12 @@ presets).  Each dataclass validates itself on construction and raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
+from typing import TYPE_CHECKING
 
 from .exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .seeding import SeedSpawner
 
 __all__ = [
     "EncoderConfig",
@@ -218,6 +222,13 @@ class ServiceConfig:
     ``arrival_process`` opens each tenant's batch into a stream
     (``closed`` / ``poisson`` / ``bursty``) at ``arrival_rate`` queries per
     second, with ``burst_size`` queries per burst in the bursty case.
+
+    ``cluster_instances`` declares the engine fleet the service runs on, as
+    per-instance profile short-names (e.g. ``("x", "x", "z")`` — a mixed
+    fleet of two DBMS-X servers and one DBMS-Z system).  Empty (the default)
+    means a single engine; :meth:`repro.dbms.Cluster.from_service_config`
+    materialises a declared fleet with per-instance seeds derived from the
+    experiment seed.
     """
 
     num_tenants: int = 2
@@ -225,6 +236,7 @@ class ServiceConfig:
     arrival_rate: float = 2.0
     burst_size: int = 4
     base_round_id: int = 80_000
+    cluster_instances: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         _require(self.num_tenants >= 1, "num_tenants must be >= 1")
@@ -235,6 +247,10 @@ class ServiceConfig:
         _require(self.arrival_rate > 0, "arrival_rate must be positive")
         _require(self.burst_size >= 1, "burst_size must be >= 1")
         _require(self.base_round_id >= 0, "base_round_id must be >= 0")
+        _require(
+            all(isinstance(name, str) and name for name in self.cluster_instances),
+            "cluster_instances must be non-empty profile names",
+        )
 
 
 @dataclass
@@ -253,6 +269,18 @@ class BQSchedConfig:
     def to_dict(self) -> dict:
         """Return a plain-dict snapshot (for logging and EXPERIMENTS.md)."""
         return asdict(self)
+
+    def seed_spawner(self) -> "SeedSpawner":
+        """Root of the experiment's deterministic entropy tree.
+
+        Every stochastic component (engines, cluster instances, simulator,
+        arrival processes, rollout sampling) derives its generator from this
+        spawner, so identical configs reproduce identical results on the
+        env, vec-env and runtime paths (see :mod:`repro.seeding`).
+        """
+        from .seeding import SeedSpawner
+
+        return SeedSpawner(self.seed)
 
     @classmethod
     def small(cls, seed: int = 0) -> "BQSchedConfig":

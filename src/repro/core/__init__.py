@@ -3,9 +3,19 @@
 from .types import SchedulingResult, StrategyEvaluation
 from .knowledge import ExternalKnowledge
 from .masking import AdaptiveMask
-from .env import SchedulingEnv, SchedulingSession, SessionBackend, StepResult
+from .env import SchedulingEnv, SchedulingSession, SessionBackend, StepResult, drive_service
+from .cluster_env import ClusterSchedulingEnv, cluster_instance_count
 from .vecenv import VectorSchedulingEnv
-from .baselines import BaseScheduler, FIFOScheduler, MCFScheduler, RandomScheduler, run_episode
+from .baselines import (
+    BaseScheduler,
+    FIFOScheduler,
+    GreedyCostPlacementScheduler,
+    LeastOutstandingWorkScheduler,
+    MCFScheduler,
+    RandomScheduler,
+    RoundRobinPlacementScheduler,
+    run_episode,
+)
 from .policy import ActorCriticNetwork, PolicyDecision
 from .rollout import RolloutBuffer, Transition
 from .ppo import PPOTrainer, TrainingHistory
@@ -22,6 +32,9 @@ __all__ = [
     "ExternalKnowledge",
     "AdaptiveMask",
     "SchedulingEnv",
+    "ClusterSchedulingEnv",
+    "cluster_instance_count",
+    "drive_service",
     "SchedulingSession",
     "SessionBackend",
     "StepResult",
@@ -30,6 +43,9 @@ __all__ = [
     "FIFOScheduler",
     "MCFScheduler",
     "RandomScheduler",
+    "RoundRobinPlacementScheduler",
+    "LeastOutstandingWorkScheduler",
+    "GreedyCostPlacementScheduler",
     "run_episode",
     "ActorCriticNetwork",
     "PolicyDecision",

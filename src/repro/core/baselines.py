@@ -12,12 +12,23 @@ import abc
 
 import numpy as np
 
+from ..dbms.cluster import next_instance_in_rotation
 from ..encoder import SchedulingSnapshot
 from ..exceptions import SchedulingError
+from .cluster_env import ClusterSchedulingEnv
 from .env import SchedulingEnv
 from .types import SchedulingResult, StrategyEvaluation
 
-__all__ = ["BaseScheduler", "RandomScheduler", "FIFOScheduler", "MCFScheduler", "run_episode"]
+__all__ = [
+    "BaseScheduler",
+    "RandomScheduler",
+    "FIFOScheduler",
+    "MCFScheduler",
+    "RoundRobinPlacementScheduler",
+    "LeastOutstandingWorkScheduler",
+    "GreedyCostPlacementScheduler",
+    "run_episode",
+]
 
 
 class BaseScheduler(abc.ABC):
@@ -71,6 +82,11 @@ class _HeuristicScheduler(BaseScheduler):
     def _pending_slots(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> list[int]:
         if env.cluster_mode:
             raise SchedulingError(f"{self.name} operates on query-level environments only")
+        if isinstance(env, ClusterSchedulingEnv) and env.num_instances > 1:
+            raise SchedulingError(
+                f"{self.name} is placement-oblivious; use a placement-aware scheduler "
+                "(RoundRobinPlacementScheduler & friends) on multi-instance fleets"
+            )
         pending = snapshot.pending_ids
         if not pending:
             raise SchedulingError("no pending query to schedule")
@@ -119,3 +135,95 @@ class MCFScheduler(_HeuristicScheduler):
         pending = self._pending_slots(env, snapshot)
         query_id = max(pending, key=lambda qid: env.knowledge.average_time(qid))
         return env.encode_action(query_id, self._default_config(env, query_id))
+
+
+class _PlacementScheduler(_HeuristicScheduler):
+    """Shared machinery of the cluster placement baselines.
+
+    Query *ordering* follows the pipeline default (FIFO, or MCF when
+    ``order = "mcf"``); the subclass decides the *placement* among the
+    instances that currently have an idle connection.  This is exactly how a
+    placement heuristic bolts onto a parameter-oblivious pipeline runner.
+    """
+
+    order = "fifo"
+
+    def _require_cluster(self, env: SchedulingEnv) -> ClusterSchedulingEnv:
+        if not isinstance(env, ClusterSchedulingEnv):
+            raise SchedulingError(f"{self.name} schedules over a ClusterSchedulingEnv")
+        return env
+
+    def _pick_query(self, env: ClusterSchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        pending = snapshot.pending_ids
+        if not pending:
+            raise SchedulingError("no pending query to schedule")
+        if self.order == "mcf":
+            return max(pending, key=lambda qid: env.knowledge.average_time(qid))
+        return min(pending)
+
+    def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
+        raise NotImplementedError
+
+    def select_action(self, env: SchedulingEnv, snapshot: SchedulingSnapshot) -> int:
+        cluster_env = self._require_cluster(env)
+        available = cluster_env.available_instances()
+        if not available:
+            raise SchedulingError("no instance has an idle connection")
+        query_id = self._pick_query(cluster_env, snapshot)
+        instance = self._pick_instance(cluster_env, query_id, available)
+        return cluster_env.encode_placement(query_id, instance, self._default_config(env, query_id))
+
+
+class RoundRobinPlacementScheduler(_PlacementScheduler):
+    """Rotate submissions across instances, skipping saturated ones."""
+
+    name = "RR-placement"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def on_round_start(self, env: SchedulingEnv) -> None:
+        self._cursor = 0
+
+    def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
+        instance = next_instance_in_rotation(available, self._cursor, env.num_instances)
+        self._cursor = (instance + 1) % env.num_instances
+        return instance
+
+
+class LeastOutstandingWorkScheduler(_PlacementScheduler):
+    """Place on the instance with the least expected outstanding work.
+
+    Outstanding work is measured in reference-instance seconds (log-derived
+    expected times minus elapsed), i.e. the heuristic balances *work*, not
+    hardware-adjusted completion time — the classic load balancer that a
+    heterogeneous fleet defeats.
+    """
+
+    name = "LOW-placement"
+
+    def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
+        outstanding = env.instance_outstanding_work()
+        return min(available, key=lambda index: (outstanding[index], index))
+
+
+class GreedyCostPlacementScheduler(_PlacementScheduler):
+    """Greedy expected-completion placement, MCF query order.
+
+    Picks the instance minimising ``(outstanding + expected) / speed`` — the
+    strongest myopic heuristic: speed-aware, load-aware, but blind to data
+    sharing, buffer warmth and long-tail interactions.
+    """
+
+    name = "GreedyCost-placement"
+    order = "mcf"
+
+    def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
+        outstanding = env.instance_outstanding_work()
+        speeds = env.instance_speed_factors()
+        expected = env.knowledge.average_time(query_id)
+
+        def completion(index: int) -> tuple[float, int]:
+            return ((outstanding[index] + expected) / max(speeds[index], 1e-9), index)
+
+        return min(available, key=completion)

@@ -14,6 +14,12 @@ API:
 5. :meth:`serve` — run the policy as a continuous event-driven scheduler
    over multi-tenant, streaming-arrival rounds on a shared engine.
 
+The facade accepts either a single :class:`~repro.dbms.DatabaseEngine` or a
+:class:`~repro.dbms.Cluster` of heterogeneous instances: on a cluster the
+action space (and the policy's placement-aware head) widens to joint
+(query, instance, configuration) choices and every environment becomes a
+:class:`~repro.core.cluster_env.ClusterSchedulingEnv`.
+
 :class:`LSchedScheduler` is the paper's adapted baseline: the same state
 representation but plain PPO, no adaptive masking, no clustering and no
 simulator pre-training.
@@ -27,15 +33,16 @@ from dataclasses import replace
 import numpy as np
 
 from ..config import BQSchedConfig
-from ..dbms import ConfigurationSpace, DatabaseEngine, ExecutionLog
+from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, INSTANCE_FEATURE_DIM
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
 from ..plans import PlanFeaturizer
 from ..runtime import ExecutionRuntime, ServiceReport
 from ..workloads import ArrivalProcess, BatchQuerySet, ClosedArrivals, Workload, make_arrival_process
 from .baselines import BaseScheduler
+from .cluster_env import ClusterSchedulingEnv, cluster_instance_count
 from .clustering import QueryClusters, cluster_queries
-from .env import SchedulingEnv
+from .env import SchedulingEnv, drive_service
 from .gain import build_gain_matrix
 from .iq_ppo import IQPPOTrainer
 from .knowledge import ExternalKnowledge
@@ -69,14 +76,26 @@ class RLSchedulerBase(BaseScheduler):
     def __init__(
         self,
         workload: Workload,
-        engine: DatabaseEngine,
+        engine: "DatabaseEngine | Cluster",
         config: BQSchedConfig | None = None,
     ) -> None:
         self.workload = workload
         self.engine = engine
         self.config = config or BQSchedConfig()
         self.batch: BatchQuerySet = workload.batch_query_set()
-        self.rng = np.random.default_rng(self.config.seed)
+        self.seeds = self.config.seed_spawner()
+        self.rng = self.seeds.generator()
+
+        # A Cluster backend switches the action space to joint
+        # (query, instance, configuration) choices; the policy heads widen
+        # accordingly and every environment becomes a ClusterSchedulingEnv.
+        # The learned simulator and gain clustering model single-engine
+        # dynamics, so they are disabled on fleets (per-instance simulators
+        # are an open roadmap item).
+        self.num_instances = engine.num_instances if isinstance(engine, Cluster) else 1
+        if isinstance(engine, Cluster):
+            self.use_simulator = False
+            self.use_clustering = False
 
         self.config_space = ConfigurationSpace(self.config.scheduler)
         featurizer = PlanFeaturizer(workload.catalog)
@@ -94,7 +113,12 @@ class RLSchedulerBase(BaseScheduler):
         self.simulator: LearnedSimulator | None = None
         self.history_log = ExecutionLog()
 
-        run_featurizer = RunStateFeaturizer(num_configs=len(self.config_space))
+        run_featurizer = RunStateFeaturizer(
+            num_configs=self.num_instances * len(self.config_space),
+            instance_context_dim=(
+                self.num_instances * INSTANCE_FEATURE_DIM if isinstance(engine, Cluster) else 0
+            ),
+        )
         self.state_encoder = StateEncoder(
             plan_embedding_dim=self.config.encoder.plan_embedding_dim,
             run_state_featurizer=run_featurizer,
@@ -104,7 +128,7 @@ class RLSchedulerBase(BaseScheduler):
         )
         self.policy = ActorCriticNetwork(
             state_encoder=self.state_encoder,
-            num_configs=len(self.config_space),
+            num_configs=self.num_instances * len(self.config_space),
             rng=self.rng,
         )
         self.env = self._build_env(backend=self.engine)
@@ -130,6 +154,16 @@ class RLSchedulerBase(BaseScheduler):
         return cls(workload, engine, config)
 
     def _build_env(self, backend) -> SchedulingEnv:
+        if self._cluster_backend(backend):
+            return ClusterSchedulingEnv(
+                batch=self.batch,
+                backend=backend,
+                scheduler_config=self.config.scheduler,
+                config_space=self.config_space,
+                knowledge=self.knowledge,
+                mask=self.mask,
+                strategy_name=self.name,
+            )
         return SchedulingEnv(
             batch=self.batch,
             backend=backend,
@@ -140,6 +174,11 @@ class RLSchedulerBase(BaseScheduler):
             clusters=self.clusters,
             strategy_name=self.name,
         )
+
+    @staticmethod
+    def _cluster_backend(backend) -> bool:
+        """Whether a backend routes to a fleet (directly or through a tenant)."""
+        return cluster_instance_count(backend) is not None
 
     def _make_trainer(self, env: SchedulingEnv, num_envs: int | None = None) -> PPOTrainer:
         trainer_cls = _ALGORITHMS[self.algorithm]
@@ -297,20 +336,38 @@ class RLSchedulerBase(BaseScheduler):
     def evaluate_on(
         self,
         workload: Workload,
-        engine: DatabaseEngine | None = None,
+        engine: "DatabaseEngine | Cluster | None" = None,
         rounds: int = 3,
         base_round_id: int = 70_000,
     ) -> StrategyEvaluation:
-        """Apply the already-trained policy to a *different* workload.
+        """Apply the already-trained policy to a *different* workload or fleet.
 
         This is the paper's adaptability experiment (Table II): the policy is
         trained on one data/query scale and evaluated, without retraining, on
         a perturbed workload.  Plan embeddings, external knowledge and the
         adaptive mask are rebuilt for the new batch; the policy network is
         reused as-is (the attention-based state supports variable batch
-        sizes).
+        sizes).  In the cluster setting ``engine`` may be a *different*
+        fleet — the cross-configuration scenario: trained on a homogeneous
+        cluster, evaluated on a skewed one — as long as the instance count
+        matches the policy's placement head.
         """
         engine = engine or self.engine
+        if not hasattr(engine, "estimate_isolated_time"):
+            raise SchedulingError(
+                "evaluate_on rebuilds knowledge from isolated probes and needs a "
+                "probe-capable backend (DatabaseEngine or Cluster), not "
+                f"{type(engine).__name__}"
+            )
+        instances = cluster_instance_count(engine)
+        if instances is not None:
+            if instances != self.num_instances:
+                raise SchedulingError(
+                    f"policy places across {self.num_instances} instances but the evaluation "
+                    f"fleet has {instances}"
+                )
+        elif self.num_instances > 1:
+            raise SchedulingError("a cluster-trained policy needs a Cluster evaluation backend")
         batch = workload.batch_query_set()
         plan_embeddings = PlanEmbeddingCache(self.queryformer).embeddings_for(batch)
         knowledge = ExternalKnowledge.from_probes(engine, batch, self.config_space)
@@ -319,7 +376,8 @@ class RLSchedulerBase(BaseScheduler):
             if self.use_masking
             else AdaptiveMask.unmasked(len(batch), len(self.config_space))
         )
-        env = SchedulingEnv(
+        env_cls = ClusterSchedulingEnv if self._cluster_backend(engine) else SchedulingEnv
+        env = env_cls(
             batch=batch,
             backend=engine,
             scheduler_config=self.config.scheduler,
@@ -384,11 +442,12 @@ class RLSchedulerBase(BaseScheduler):
             else replace(self.config.scheduler, num_connections=num_connections)
         )
         runtime = ExecutionRuntime(self.engine)
+        env_cls = ClusterSchedulingEnv if self._cluster_backend(self.engine) else SchedulingEnv
         envs = []
         for index in range(num_tenants):
             tenant = runtime.register(f"tenant-{index}", self.batch, arrivals=arrivals)
             envs.append(
-                SchedulingEnv(
+                env_cls(
                     batch=self.batch,
                     backend=tenant,
                     scheduler_config=scheduler_config,
@@ -401,19 +460,7 @@ class RLSchedulerBase(BaseScheduler):
         round_id = round_id if round_id is not None else service.base_round_id
         for env in envs:
             env.reset(round_id=round_id)
-
-        while True:
-            progressed = True
-            while progressed:
-                progressed = False
-                for env in envs:
-                    while env.can_decide():
-                        action = self.select_action(env, env.snapshot())
-                        env.begin_step(action)
-                        progressed = True
-            if runtime.is_done:
-                break
-            runtime.advance()
+        drive_service(runtime, envs, lambda env: self.select_action(env, env.snapshot()))
         return ServiceReport.from_runtime(runtime, strategy=self.name)
 
     # ------------------------------------------------------------------ #

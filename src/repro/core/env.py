@@ -45,7 +45,31 @@ from .types import SchedulingResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.engine import RunningQueryState
 
-__all__ = ["SchedulingEnv", "StepResult", "SchedulingSession", "SessionBackend"]
+__all__ = ["SchedulingEnv", "StepResult", "SchedulingSession", "SessionBackend", "drive_service"]
+
+
+def drive_service(runtime: ExecutionRuntime, envs: "Sequence[SchedulingEnv]", select_action) -> None:
+    """Run a multi-tenant round to completion, event-driven.
+
+    The one serve loop shared by :meth:`RLSchedulerBase.serve` and the
+    service benchmarks: at every completion or arrival event, every tenant
+    whose environment can decide submits (``select_action(env)`` chooses the
+    action) before the clock moves again; submissions free up decisions for
+    peers, so the inner sweep repeats until no tenant can act, then the
+    runtime advances to the next event.  Callers must have ``reset`` every
+    environment into the shared round first.
+    """
+    while True:
+        progressed = True
+        while progressed:
+            progressed = False
+            for env in envs:
+                while env.can_decide():
+                    env.begin_step(select_action(env))
+                    progressed = True
+        if runtime.is_done:
+            break
+        runtime.advance()
 
 
 @runtime_checkable
@@ -179,23 +203,33 @@ class SchedulingEnv:
         return self.clusters.num_clusters if self.cluster_mode else len(self.batch)
 
     @property
+    def configs_per_slot(self) -> int:
+        """Flat choices per slot: the running-parameter configurations here.
+
+        :class:`~repro.core.cluster_env.ClusterSchedulingEnv` widens this to
+        ``num_instances * num_configs`` — each slot choice then jointly picks
+        a placement and a configuration.
+        """
+        return self.num_configs
+
+    @property
     def action_dim(self) -> int:
-        """Size of the flat action space ``slots * num_configs``."""
-        return self.num_action_slots * self.num_configs
+        """Size of the flat action space ``slots * configs_per_slot``."""
+        return self.num_action_slots * self.configs_per_slot
 
     def encode_action(self, slot: int, config_index: int) -> int:
-        """Flatten (query-or-cluster index, configuration index) into one action id."""
+        """Flatten (query-or-cluster index, per-slot choice) into one action id."""
         if not 0 <= slot < self.num_action_slots:
             raise SchedulingError(f"slot {slot} out of range")
-        if not 0 <= config_index < self.num_configs:
+        if not 0 <= config_index < self.configs_per_slot:
             raise SchedulingError(f"config index {config_index} out of range")
-        return slot * self.num_configs + config_index
+        return slot * self.configs_per_slot + config_index
 
     def decode_action(self, action: int) -> tuple[int, int]:
         """Inverse of :meth:`encode_action`."""
         if not 0 <= action < self.action_dim:
             raise SchedulingError(f"action {action} out of range (dim={self.action_dim})")
-        return action // self.num_configs, action % self.num_configs
+        return action // self.configs_per_slot, action % self.configs_per_slot
 
     def action_mask(self) -> np.ndarray:
         """Boolean mask of currently valid actions."""
@@ -372,17 +406,7 @@ class SchedulingEnv:
         for query in self.batch:
             query_id = query.query_id
             if query_id in running:
-                state = running[query_id]
-                config_index = self.config_space.index_of(state.parameters)
-                infos.append(
-                    QueryRuntimeInfo(
-                        query_id=query_id,
-                        status=QueryStatus.RUNNING,
-                        config_index=config_index,
-                        elapsed=now - state.submit_time,
-                        expected_time=self.knowledge.expected_time(query_id, config_index),
-                    )
-                )
+                infos.append(self._running_info(query_id, running[query_id], now))
             elif query_id in finished:
                 infos.append(self._static_info(query_id, QueryStatus.FINISHED))
             elif unarrived and query_id in unarrived:
@@ -399,7 +423,22 @@ class SchedulingEnv:
                 )
             else:
                 infos.append(self._static_info(query_id, QueryStatus.PENDING))
-        return SchedulingSnapshot(time=now, infos=tuple(infos))
+        return SchedulingSnapshot(time=now, infos=tuple(infos), instance_context=self._instance_context())
+
+    def _running_info(self, query_id: int, state: "RunningQueryState", now: float) -> QueryRuntimeInfo:
+        """Observable info of one running query (placement-aware in subclasses)."""
+        config_index = self.config_space.index_of(state.parameters)
+        return QueryRuntimeInfo(
+            query_id=query_id,
+            status=QueryStatus.RUNNING,
+            config_index=config_index,
+            elapsed=now - state.submit_time,
+            expected_time=self.knowledge.expected_time(query_id, config_index),
+        )
+
+    def _instance_context(self) -> tuple[tuple[float, ...], ...]:
+        """Per-instance context rows for the snapshot (empty off-cluster)."""
+        return ()
 
     def _static_info(self, query_id: int, status: QueryStatus) -> QueryRuntimeInfo:
         """Cached pending/finished info (immutable within a round).

@@ -58,8 +58,9 @@ class VectorSchedulingEnv:
 
         if isinstance(env.backend, RuntimeTenant):
             raise SchedulingError("cannot clone an environment bound to a shared runtime tenant")
+        env_cls = type(env)
         envs = [
-            SchedulingEnv(
+            env_cls(
                 batch=env.batch,
                 backend=env.backend,
                 scheduler_config=env.scheduler_config,

@@ -1,6 +1,7 @@
-"""Black-box DBMS substrate: profiles, buffer pool, fluid concurrency engine, logs."""
+"""Black-box DBMS substrate: profiles, buffer pool, fluid engine, clusters, logs."""
 
 from .buffer import BufferPool
+from .cluster import Cluster, ClusterSession, INSTANCE_FEATURE_DIM
 from .engine import CompletionEvent, DatabaseEngine, ExecutionSession, RunningQueryState
 from .logs import ConcurrencySnapshot, ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import ConfigurationSpace, RunningParameters
@@ -8,6 +9,9 @@ from .profiles import DBMSProfile
 
 __all__ = [
     "BufferPool",
+    "Cluster",
+    "ClusterSession",
+    "INSTANCE_FEATURE_DIM",
     "CompletionEvent",
     "DatabaseEngine",
     "ExecutionSession",

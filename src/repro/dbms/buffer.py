@@ -46,7 +46,7 @@ class BufferPool:
     def _evict_if_needed(self) -> None:
         """Evict least-recently-touched tables until within capacity."""
         while self.used_rows > self.capacity_rows and len(self._resident) > 1:
-            victim = min(self._last_touch, key=self._last_touch.get)
+            victim = min(self._last_touch, key=lambda table: self._last_touch[table])
             over = self.used_rows - self.capacity_rows
             if self._resident[victim] <= over:
                 del self._resident[victim]

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import SchedulingError, SimulationError
+from ..seeding import SeedSpawner
 from ..workloads import BatchQuerySet, Query
 from .buffer import BufferPool
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
@@ -60,11 +61,18 @@ class RunningQueryState:
 
 @dataclass(frozen=True)
 class CompletionEvent:
-    """Returned by :meth:`ExecutionSession.advance`: one query finished."""
+    """Returned by :meth:`ExecutionSession.advance`: one query finished.
+
+    ``instance`` identifies the engine instance the query ran on; plain
+    single-engine sessions always report instance 0, a
+    :class:`~repro.dbms.cluster.ClusterSession` reports the placement chosen
+    at submit time.
+    """
 
     query_id: int
     finish_time: float
     connection: int
+    instance: int = 0
 
 
 class ExecutionSession:
@@ -198,6 +206,24 @@ class ExecutionSession:
         )
         return connection
 
+    def next_completion_time(self) -> float | None:
+        """Absolute time of the next completion, without advancing the clock.
+
+        ``None`` when nothing is running.  The returned instant is exactly
+        the finish time :meth:`advance` would produce from the current state
+        (same float arithmetic), which is what lets a
+        :class:`~repro.dbms.cluster.ClusterSession` pick the globally
+        earliest event across per-instance clocks without perturbing them.
+        """
+        if not self.running:
+            return None
+        rates = self._progress_rates()
+        delta = min(
+            state.remaining_work / max(rates[query_id], _EPSILON)
+            for query_id, state in self.running.items()
+        )
+        return self.current_time + delta
+
     def advance(self, limit: float | None = None) -> CompletionEvent | None:
         """Advance the clock to the next query completion and return it.
 
@@ -217,7 +243,7 @@ class ExecutionSession:
             query_id: state.remaining_work / max(rates[query_id], _EPSILON)
             for query_id, state in self.running.items()
         }
-        finishing_id = min(time_to_finish, key=time_to_finish.get)
+        finishing_id = min(time_to_finish, key=lambda query_id: time_to_finish[query_id])
         delta = time_to_finish[finishing_id]
         if limit is not None and self.current_time + delta > limit:
             partial = limit - self.current_time
@@ -334,6 +360,7 @@ class DatabaseEngine:
     def __init__(self, profile: DBMSProfile, seed: int = 0) -> None:
         self.profile = profile
         self.seed = seed
+        self.seeds = SeedSpawner(seed)
         self._round_counter = 0
 
     def new_session(
@@ -354,7 +381,9 @@ class DatabaseEngine:
         if round_id is None:
             round_id = self._round_counter
         self._round_counter = max(self._round_counter, round_id) + 1
-        rng = np.random.default_rng((self.seed, round_id, 0x5EED))
+        # Entropy (seed, round_id, 0x5EED): the historical per-round stream,
+        # now derived through the central SeedSpawner (bit-identical).
+        rng = self.seeds.derive(round_id, 0x5EED)
         connections = num_connections or self.profile.default_connections
         buffer = warm_buffer if keep_buffer_warm else None
         return ExecutionSession(
@@ -402,7 +431,7 @@ class DatabaseEngine:
         """
         batch = BatchQuerySet([query])
         probe = batch[0]
-        rng = np.random.default_rng((self.seed, 0xC0FFEE))
+        rng = self.seeds.derive(0xC0FFEE)
         session = ExecutionSession(
             profile=self.profile,
             batch=batch,
@@ -413,6 +442,7 @@ class DatabaseEngine:
         session._noise = {probe.query_id: 1.0}
         session.submit(probe.query_id, parameters)
         event = session.advance()
+        assert event is not None
         return event.finish_time
 
     def collect_logs(

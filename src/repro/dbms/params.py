@@ -9,6 +9,7 @@ the cross product of the allowed worker counts and memory limits from
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..config import SchedulerConfig
 from ..exceptions import ConfigurationError
@@ -51,7 +52,7 @@ class ConfigurationSpace:
     def __len__(self) -> int:
         return len(self._configs)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[RunningParameters]":
         return iter(self._configs)
 
     def __getitem__(self, index: int) -> RunningParameters:

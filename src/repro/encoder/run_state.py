@@ -67,10 +67,18 @@ class SchedulingSnapshot:
     ``infos`` is aligned with the batch query ids (index ``i`` describes
     query ``i``).  This object is what the attention-based state encoder and
     the learned simulator consume.
+
+    ``instance_context`` carries per-engine-instance context rows when the
+    round runs on a :class:`~repro.dbms.Cluster` (one tuple per instance:
+    relative speed, busy fraction, capacity share, buffer fill — see
+    :data:`repro.dbms.INSTANCE_FEATURE_DIM`).  Single-engine rounds leave it
+    empty, keeping the snapshot bit-compatible with the closed-batch paper
+    setting.
     """
 
     time: float
     infos: tuple[QueryRuntimeInfo, ...]
+    instance_context: tuple[tuple[float, ...], ...] = ()
 
     @property
     def num_queries(self) -> int:
@@ -124,20 +132,37 @@ class RunStateFeaturizer:
     query that is already available, so closed batches are unaffected.  It is
     off by default to keep the feature layout (and trained policies)
     bit-compatible with the paper's closed-batch encoder.
+
+    The optional instance-context channel (``instance_context_dim > 0``)
+    supports cluster scheduling: the snapshot's flattened per-instance
+    context rows (load, buffer warmth, profile speed) are appended to every
+    query token, so the batch-level attention sees placement state alongside
+    query state.  In cluster mode the (instance, configuration) pair is
+    one-hot encoded jointly through ``num_configs = instances * configs``,
+    which degenerates to the paper's layout at one instance.
     """
 
-    def __init__(self, num_configs: int, time_scale: float = 10.0, arrival_channel: bool = False) -> None:
+    def __init__(
+        self,
+        num_configs: int,
+        time_scale: float = 10.0,
+        arrival_channel: bool = False,
+        instance_context_dim: int = 0,
+    ) -> None:
         if num_configs < 1:
             raise SchedulingError("num_configs must be >= 1")
         if time_scale <= 0:
             raise SchedulingError("time_scale must be positive")
+        if instance_context_dim < 0:
+            raise SchedulingError("instance_context_dim must be >= 0")
         self.num_configs = num_configs
         self.time_scale = time_scale
         self.arrival_channel = arrival_channel
+        self.instance_context_dim = instance_context_dim
 
     @property
     def feature_dim(self) -> int:
-        return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0)
+        return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0) + self.instance_context_dim
 
     def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
         vector = np.zeros(self.feature_dim, dtype=np.float64)
@@ -153,7 +178,22 @@ class RunStateFeaturizer:
         vector[3 + self.num_configs + 1] = np.tanh(info.expected_time / self.time_scale)
         if self.arrival_channel:
             vector[3 + self.num_configs + 2] = np.tanh(info.time_to_available / self.time_scale)
+        # Instance-context slots stay zero here: the per-info featurizer has
+        # no snapshot to read them from (featurize_snapshot fills them in).
         return vector
+
+    def _context_row(self, snapshot: SchedulingSnapshot) -> np.ndarray:
+        """Flattened instance-context row shared by every query token."""
+        row = np.zeros(self.instance_context_dim, dtype=np.float64)
+        if snapshot.instance_context:
+            flat = np.concatenate([np.asarray(entry, dtype=np.float64) for entry in snapshot.instance_context])
+            if flat.shape[0] != self.instance_context_dim:
+                raise SchedulingError(
+                    f"snapshot instance context has {flat.shape[0]} entries, "
+                    f"featurizer expects {self.instance_context_dim}"
+                )
+            row = flat
+        return row
 
     def featurize_snapshot(self, snapshot: SchedulingSnapshot) -> np.ndarray:
         """Return the ``(n, feature_dim)`` matrix of running-state features.
@@ -180,4 +220,6 @@ class RunStateFeaturizer:
         if self.arrival_channel:
             to_available = np.fromiter((info.time_to_available for info in infos), dtype=np.float64, count=n)
             features[:, 3 + self.num_configs + 2] = np.tanh(to_available / self.time_scale)
+        if self.instance_context_dim:
+            features[:, self.feature_dim - self.instance_context_dim :] = self._context_row(snapshot)
         return features

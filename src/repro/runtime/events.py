@@ -32,12 +32,18 @@ class QueryArrival:
 
 @dataclass(frozen=True)
 class QueryCompletion:
-    """A query of ``tenant`` finished at ``time`` on ``connection``."""
+    """A query of ``tenant`` finished at ``time`` on ``connection``.
+
+    ``instance`` is the engine instance the query ran on — always 0 on a
+    single-engine backend, the chosen placement on a
+    :class:`~repro.dbms.Cluster` backend.
+    """
 
     time: float
     tenant: str
     query_id: int
     connection: int
+    instance: int = 0
 
 
 RuntimeEvent = Union[QueryArrival, QueryCompletion]

@@ -1,9 +1,10 @@
-"""The event-driven execution runtime: multi-tenant rounds on one backend.
+"""The event-driven execution runtime: multi-tenant rounds, many instances.
 
 BQSched is non-intrusive: the scheduler only submits queries to connections
 and observes completion events.  :class:`ExecutionRuntime` makes that
 interface literal.  It owns ONE backend session per round — the fluid-model
-engine or the learned simulator — and multiplexes it between N *tenants*:
+engine, the learned simulator, or a :class:`~repro.dbms.Cluster` session
+that itself spans N engine instances — and multiplexes it between N *tenants*:
 independent batch query sets that share the engine's connections, buffer
 pool and contention model while keeping their own pending sets, logs and
 metrics.  The runtime advances the engine to the next event (a query
@@ -20,19 +21,28 @@ Global/local id mapping: tenant batches are concatenated in registration
 order into one union batch, so tenant ``t`` with offset ``o`` owns global
 ids ``[o, o + len(batch))``; every event a tenant sees carries its *local*
 id, which is what keeps per-tenant logs disjoint and self-consistent.
+
+Cluster routing: when the backend is a :class:`~repro.dbms.Cluster`, the
+shared session routes submissions to engine *instances* (``submit`` takes a
+placement) and each instance keeps its own completion buffer; the cluster
+session merges those per-instance event streams into the single time-ordered
+stream the runtime consumes, alongside the scheduled arrivals of the global
+:class:`~repro.runtime.EventQueue`.  Completion events then carry the
+instance they happened on, so tenants can attribute latency to placement.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from ..dbms.engine import CompletionEvent, RunningQueryState
 from ..dbms.logs import QueryExecutionRecord, RoundLog
 from ..exceptions import SchedulingError
+from ..seeding import SeedSpawner
 from ..workloads import ArrivalProcess, BatchQuerySet
 from .events import QueryArrival, QueryCompletion, RuntimeEvent
 from .queue import EventQueue
@@ -42,7 +52,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ExecutionRuntime", "RuntimeTenant", "TenantSession"]
 
-_ARRIVAL_SEED = 0xA881
+#: Root of the arrival-sampling entropy tree; ``derive(round_id, offset)``
+#: reproduces the historical ``default_rng((0xA881, round_id, offset))``.
+_ARRIVAL_SEEDS = SeedSpawner(0xA881)
 
 
 @dataclass
@@ -60,13 +72,13 @@ class _TenantState:
 class ExecutionRuntime:
     """Advances one shared backend session and dispatches events to tenants."""
 
-    def __init__(self, backend) -> None:
+    def __init__(self, backend: Any) -> None:
         self.backend = backend
         self._tenants: dict[str, _TenantState] = {}
         self._offsets: list[int] = []
         self._order: list[str] = []
         self.events = EventQueue()
-        self._shared = None
+        self._shared: Any = None
 
     # ------------------------------------------------------------------ #
     # Tenant registration
@@ -88,14 +100,17 @@ class ExecutionRuntime:
             raise SchedulingError("tenants must register before the first round opens")
         if name in self._tenants:
             raise SchedulingError(f"tenant {name!r} is already registered")
+        times: "ArrivalProcess | np.ndarray | None"
         if arrivals is not None and not isinstance(arrivals, ArrivalProcess):
-            arrivals = np.asarray(list(arrivals), dtype=np.float64)
-            if arrivals.shape != (len(batch),):
+            times = np.asarray(list(arrivals), dtype=np.float64)
+            if times.shape != (len(batch),):
                 raise SchedulingError("explicit arrival times must provide one time per query")
-            if (arrivals < 0).any():
+            if (times < 0).any():
                 raise SchedulingError("arrival times must be >= 0")
+        else:
+            times = arrivals
         offset = sum(len(state.batch) for state in self._tenants.values())
-        self._tenants[name] = _TenantState(name=name, batch=batch, arrivals=arrivals, offset=offset)
+        self._tenants[name] = _TenantState(name=name, batch=batch, arrivals=times, offset=offset)
         self._offsets.append(offset)
         self._order.append(name)
         return RuntimeTenant(self, name)
@@ -115,7 +130,7 @@ class ExecutionRuntime:
         return list(self._order)
 
     @property
-    def shared_session(self):
+    def shared_session(self) -> Any:
         """The backend session of the current round (read-only access)."""
         if self._shared is None:
             raise SchedulingError("no round is open")
@@ -125,7 +140,12 @@ class ExecutionRuntime:
         """The live tenant sessions of the current round."""
         if self._shared is None:
             raise SchedulingError("no round is open")
-        return {name: self._tenants[name].session for name in self._order}
+        live = {}
+        for name in self._order:
+            session = self._tenants[name].session
+            assert session is not None
+            live[name] = session
+        return live
 
     # ------------------------------------------------------------------ #
     # Round lifecycle
@@ -158,6 +178,7 @@ class ExecutionRuntime:
         if self._shared is not None:
             if not state.claimed:
                 state.claimed = True
+                assert state.session is not None
                 return state.session
             others_done = all(
                 other.session is None or other.session.is_done
@@ -170,6 +191,7 @@ class ExecutionRuntime:
                 )
         self._open_round(num_connections=num_connections, strategy=strategy, round_id=round_id)
         state.claimed = True
+        assert state.session is not None
         return state.session
 
     def _open_round(self, num_connections: int | None, strategy: str, round_id: int | None) -> None:
@@ -197,7 +219,7 @@ class ExecutionRuntime:
         if state.arrivals is None:
             return None
         if isinstance(state.arrivals, ArrivalProcess):
-            rng = np.random.default_rng((_ARRIVAL_SEED, round_id, state.offset))
+            rng = _ARRIVAL_SEEDS.derive(round_id, state.offset)
             return np.asarray(state.arrivals.times(len(state.batch), rng), dtype=np.float64)
         return state.arrivals
 
@@ -240,8 +262,10 @@ class ExecutionRuntime:
 
     def _release_next_arrival(self) -> QueryArrival:
         event = self.events.pop()
+        assert isinstance(event, QueryArrival)  # only arrivals are scheduled
         state = self._tenants[event.tenant]
         self.shared_session.release(state.offset + event.query_id)
+        assert state.session is not None
         state.session._on_arrival(event)
         return event
 
@@ -253,7 +277,9 @@ class ExecutionRuntime:
             tenant=state.name,
             query_id=local_id,
             connection=completion.connection,
+            instance=completion.instance,
         )
+        assert state.session is not None
         state.session._on_completion(event, record)
         return event
 
@@ -311,7 +337,12 @@ class TenantSession:
     scheduling decision again.
     """
 
-    def __init__(self, runtime: ExecutionRuntime, state: _TenantState, arrival_times) -> None:
+    def __init__(
+        self,
+        runtime: ExecutionRuntime,
+        state: _TenantState,
+        arrival_times: "np.ndarray | None",
+    ) -> None:
         self._runtime = runtime
         self._state = state
         self.name = state.name
@@ -331,7 +362,7 @@ class TenantSession:
 
     # -- identity ------------------------------------------------------- #
     @property
-    def _shared(self):
+    def _shared(self) -> Any:
         return self._runtime.shared_session
 
     @property
@@ -383,7 +414,7 @@ class TenantSession:
             return 0.0
         return float(self._arrival_times[query_id])
 
-    def pending_queries(self):
+    def pending_queries(self) -> list:
         return [self.batch[i] for i in self.pending]
 
     def running_states(self) -> list[RunningQueryState]:
@@ -407,11 +438,61 @@ class TenantSession:
                     )
         return states
 
+    # -- cluster topology (delegated; single-backend defaults) ----------- #
+    @property
+    def num_instances(self) -> int:
+        """Engine instances behind the shared session (1 on plain backends)."""
+        return getattr(self._shared, "num_instances", 1)
+
+    def idle_instances(self) -> list[int]:
+        shared = self._shared
+        if hasattr(shared, "idle_instances"):
+            return shared.idle_instances()
+        return [0] if shared.has_idle_connection else []
+
+    def instance_of(self, query_id: int) -> int:
+        """The instance a tenant-local query was placed on (-1 if never)."""
+        shared = self._shared
+        if hasattr(shared, "instance_of"):
+            return shared.instance_of(self._state.offset + query_id)
+        return 0 if query_id in self._running or query_id in self.finished else -1
+
+    def instance_context(self) -> "np.ndarray | None":
+        shared = self._shared
+        if hasattr(shared, "instance_context"):
+            return shared.instance_context()
+        return None
+
+    def instance_num_running(self) -> list[int]:
+        """Fleet-wide per-instance occupancy (every tenant's queries)."""
+        shared = self._shared
+        if hasattr(shared, "instance_num_running"):
+            return shared.instance_num_running()
+        return [shared.num_running]
+
+    def speed_factors(self) -> tuple[float, ...]:
+        shared = self._shared
+        if hasattr(shared, "speed_factors"):
+            return shared.speed_factors()
+        return (1.0,)
+
     # -- protocol methods ------------------------------------------------ #
-    def submit(self, query_id: int, parameters: "RunningParameters") -> int:
+    def submit(self, query_id: int, parameters: "RunningParameters", instance: "int | None" = None) -> int:
+        """Submit a pending local query, optionally routed to an instance.
+
+        ``instance=None`` keeps the single-backend call shape (and means
+        instance 0 on a cluster backend); a non-zero placement requires a
+        cluster-capable shared session.
+        """
         if query_id not in self.pending:
             raise SchedulingError(f"query {query_id} is not pending for tenant {self.name!r}")
-        connection = self._shared.submit(self._state.offset + query_id, parameters)
+        global_id = self._state.offset + query_id
+        if instance is None or (instance == 0 and self.num_instances == 1):
+            connection = self._shared.submit(global_id, parameters)
+        elif self.num_instances <= 1 and instance != 0:
+            raise SchedulingError(f"backend has one instance; cannot place on instance {instance}")
+        else:
+            connection = self._shared.submit(global_id, parameters, instance=instance)
         self.pending.remove(query_id)
         self._running.add(query_id)
         return connection
@@ -434,13 +515,13 @@ class TenantSession:
 
     # -- lockstep delegation (vectorized simulator rollouts) ------------- #
     @property
-    def simulator(self):
+    def simulator(self) -> Any:
         return self._shared.simulator
 
-    def advance_features(self):
+    def advance_features(self) -> Any:
         return self._shared.advance_features()
 
-    def apply_advance(self, states, logits, times) -> None:
+    def apply_advance(self, states: Any, logits: Any, times: Any) -> None:
         completion = self._shared.apply_advance(states, logits, times)
         self._runtime._dispatch_completion(completion)
 

@@ -140,3 +140,51 @@ class TestJsonReporting:
         assert len(report.tenants) == 2
         for tenant in report.tenants:
             assert tenant.num_queries == workload.num_queries
+
+
+def _load_run_all():
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
+    spec = importlib.util.spec_from_file_location("run_all", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunAllFilters:
+    def test_discover_unfiltered_finds_every_benchmark(self):
+        run_all = _load_run_all()
+        names = [path.name for path in run_all.discover()]
+        assert "bench_table1_efficiency.py" in names
+        assert "bench_cluster_adaptability.py" in names
+        assert names == sorted(names)
+
+    def test_only_substring_and_glob(self):
+        run_all = _load_run_all()
+        substring = [path.name for path in run_all.discover(only="cluster")]
+        assert substring and all("cluster" in name for name in substring)
+        glob = [path.name for path in run_all.discover(only="bench_table?_*.py")]
+        assert {"bench_table1_efficiency.py", "bench_table2_adaptability.py", "bench_table3_simulator_model.py"} <= set(glob)
+        assert "bench_fig5_scalability.py" not in glob
+
+    def test_skip_wins_over_only(self):
+        run_all = _load_run_all()
+        names = [path.name for path in run_all.discover(only=["bench_*"], skip=["cluster", "bench_fig*"])]
+        assert names
+        assert all("cluster" not in name and not name.startswith("bench_fig") for name in names)
+        everything = run_all.discover()
+        assert run_all.discover(skip=["bench_*"]) == []
+        assert len(run_all.discover(skip="table1")) == len(everything) - 1
+
+    def test_summarise_reports_schema_version(self, tmp_path):
+        from repro.bench import write_json_report
+        from repro.bench.reporting import SCHEMA_VERSION
+
+        run_all = _load_run_all()
+        write_json_report("alpha", {"rows": []}, directory=tmp_path)
+        (tmp_path / "broken.json").write_text("not json", encoding="utf-8")
+        rows = {row[0]: row for row in run_all.summarise(tmp_path)}
+        assert rows["alpha.json"][1] == str(SCHEMA_VERSION)
+        assert rows["broken.json"][3] == "unreadable"

@@ -17,7 +17,7 @@ import pytest
 from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
 from repro.core import ExternalKnowledge, SchedulingSession, SessionBackend
 from repro.core.simulator import LearnedSimulator, SimulatedSession
-from repro.dbms import ConfigurationSpace, RunningParameters
+from repro.dbms import Cluster, ClusterSession, ConfigurationSpace, RunningParameters
 from repro.dbms.engine import ExecutionSession
 from repro.encoder import PlanEmbeddingCache, QueryFormer
 from repro.plans import PlanFeaturizer
@@ -67,7 +67,7 @@ def _check_new_session_signature(backend_cls) -> None:
 
 class TestBackendConformance:
     def test_signatures(self):
-        for backend_cls in (DatabaseEngine, LearnedSimulator, RuntimeTenant):
+        for backend_cls in (DatabaseEngine, LearnedSimulator, RuntimeTenant, Cluster):
             _check_new_session_signature(backend_cls)
 
     def test_engine_satisfies_protocol(self, parts):
@@ -92,18 +92,30 @@ class TestBackendConformance:
         assert isinstance(session, TenantSession)
         assert isinstance(session, SchedulingSession)
 
+    def test_cluster_satisfies_protocol(self, parts):
+        batch, _, _, _ = parts
+        cluster = Cluster.from_names(["x", "y"], seed=0)
+        assert isinstance(cluster, SessionBackend)
+        session = cluster.new_session(batch, num_connections=2, strategy="probe", round_id=0)
+        assert isinstance(session, ClusterSession)
+        assert isinstance(session, SchedulingSession)
+
 
 class TestSessionBehaviouralParity:
     """The protocol is behavioural, not just structural: every implementation
     must run one round the same way from the environment's point of view."""
 
-    @pytest.mark.parametrize("kind", ["engine", "simulator", "tenant"])
+    @pytest.mark.parametrize("kind", ["engine", "simulator", "tenant", "cluster"])
     def test_round_trip(self, parts, kind):
         batch, engine, simulator, space = parts
         if kind == "engine":
             session = engine.new_session(batch, num_connections=3, round_id=5)
         elif kind == "simulator":
             session = simulator.new_session(batch, num_connections=3, round_id=5)
+        elif kind == "cluster":
+            session = Cluster.from_names(["x", "y"], seed=0).new_session(
+                batch, num_connections=3, round_id=5
+            )
         else:
             session = ExecutionRuntime(engine).register("t", batch).new_session(
                 batch, num_connections=3, round_id=5
