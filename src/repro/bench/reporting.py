@@ -11,10 +11,12 @@ performance trajectory of the reproduction can be tracked across PRs
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 __all__ = [
     "ComparisonRow",
@@ -38,17 +40,25 @@ def results_dir() -> Path:
     return Path(os.environ.get(RESULTS_DIR_ENV, _DEFAULT_RESULTS_DIR))
 
 
-def _json_safe(value):
-    """Best-effort conversion of benchmark payloads to JSON-serialisable data."""
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of benchmark payloads to JSON-serialisable data.
+
+    Non-finite floats (``nan``/``inf`` — e.g. the metrics of a simulator
+    evaluated on an empty log) serialise as ``null``: ``json.dumps`` would
+    otherwise emit bare ``NaN``/``Infinity`` tokens, which are not valid JSON
+    and break every downstream consumer of the result files.
+    """
     if isinstance(value, dict):
         return {str(key): _json_safe(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_json_safe(item) for item in value]
     if hasattr(value, "item") and callable(value.item) and getattr(value, "shape", None) == ():
-        return value.item()  # 0-d numpy scalar
+        return _json_safe(value.item())  # 0-d numpy scalar
     if hasattr(value, "tolist") and callable(value.tolist):
-        return value.tolist()  # numpy array
-    if isinstance(value, (str, int, float, bool)) or value is None:
+        return _json_safe(value.tolist())  # numpy array
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
         return value
     return repr(value)
 
@@ -72,7 +82,9 @@ def write_json_report(name: str, payload: dict, directory: "str | Path | None" =
         "payload": _json_safe(payload),
     }
     with path.open("w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
+        # allow_nan=False backstops the sanitiser: a non-finite float that
+        # slipped through would raise here instead of writing invalid JSON.
+        json.dump(document, handle, indent=2, sort_keys=True, allow_nan=False)
         handle.write("\n")
     return path
 

@@ -15,7 +15,8 @@ import numpy as np
 from ..dbms.cluster import next_instance_in_rotation
 from ..encoder import SchedulingSnapshot
 from ..exceptions import SchedulingError
-from .cluster_env import ClusterSchedulingEnv
+from ..perf import PerformanceEstimator
+from .cluster_env import ClusterSchedulingEnv, greedy_cost_instance
 from .env import SchedulingEnv
 from .types import SchedulingResult, StrategyEvaluation
 
@@ -144,21 +145,37 @@ class _PlacementScheduler(_HeuristicScheduler):
     ``order = "mcf"``); the subclass decides the *placement* among the
     instances that currently have an idle connection.  This is exactly how a
     placement heuristic bolts onto a parameter-oblivious pipeline runner.
+
+    Cost estimates resolve through :meth:`_estimator`: the environment's
+    log/probe-derived knowledge by default, or any
+    :class:`~repro.perf.PerformanceEstimator` (e.g. a learned
+    :class:`~repro.perf.PerformanceModel`) supplied by the subclass.
     """
 
     order = "fifo"
+    #: Optional estimator overriding the environment's external knowledge.
+    perf: "PerformanceEstimator | None" = None
 
     def _require_cluster(self, env: SchedulingEnv) -> ClusterSchedulingEnv:
         if not isinstance(env, ClusterSchedulingEnv):
             raise SchedulingError(f"{self.name} schedules over a ClusterSchedulingEnv")
+        if env.cluster_mode:
+            raise SchedulingError(
+                f"{self.name} places individual queries; a gain-clustered fleet environment "
+                "schedules (cluster, instance, configuration) actions"
+            )
         return env
+
+    def _estimator(self, env: SchedulingEnv) -> PerformanceEstimator:
+        return self.perf if self.perf is not None else env.knowledge
 
     def _pick_query(self, env: ClusterSchedulingEnv, snapshot: SchedulingSnapshot) -> int:
         pending = snapshot.pending_ids
         if not pending:
             raise SchedulingError("no pending query to schedule")
         if self.order == "mcf":
-            return max(pending, key=lambda qid: env.knowledge.average_time(qid))
+            estimator = self._estimator(env)
+            return max(pending, key=lambda qid: estimator.average_time(qid))
         return min(pending)
 
     def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
@@ -213,17 +230,23 @@ class GreedyCostPlacementScheduler(_PlacementScheduler):
     Picks the instance minimising ``(outstanding + expected) / speed`` — the
     strongest myopic heuristic: speed-aware, load-aware, but blind to data
     sharing, buffer warmth and long-tail interactions.
+
+    Costs come from the :class:`~repro.perf.PerformanceEstimator` interface:
+    by default the environment's log/probe knowledge, or pass a learned
+    :class:`~repro.perf.PerformanceModel` as ``perf`` to price queries from
+    the trained prediction model instead of private engine estimates.
     """
 
     name = "GreedyCost-placement"
     order = "mcf"
 
+    def __init__(self, perf: "PerformanceEstimator | None" = None) -> None:
+        self.perf = perf
+
     def _pick_instance(self, env: ClusterSchedulingEnv, query_id: int, available: list[int]) -> int:
-        outstanding = env.instance_outstanding_work()
-        speeds = env.instance_speed_factors()
-        expected = env.knowledge.average_time(query_id)
-
-        def completion(index: int) -> tuple[float, int]:
-            return ((outstanding[index] + expected) / max(speeds[index], 1e-9), index)
-
-        return min(available, key=completion)
+        return greedy_cost_instance(
+            available,
+            env.instance_outstanding_work(),
+            env.instance_speed_factors(),
+            self._estimator(env).average_time(query_id),
+        )

@@ -18,7 +18,12 @@ The facade accepts either a single :class:`~repro.dbms.DatabaseEngine` or a
 :class:`~repro.dbms.Cluster` of heterogeneous instances: on a cluster the
 action space (and the policy's placement-aware head) widens to joint
 (query, instance, configuration) choices and every environment becomes a
-:class:`~repro.core.cluster_env.ClusterSchedulingEnv`.
+:class:`~repro.core.cluster_env.ClusterSchedulingEnv`.  Simulator
+pre-training and gain clustering work on fleets too: :meth:`prepare` fits
+one :class:`~repro.perf.PerformanceModel` from instance-tagged logs and
+:meth:`train` pre-trains against its
+:class:`~repro.perf.SimulatedCluster` twin, so fleet policies reach a
+target makespan with far fewer real-cluster episodes.
 
 :class:`LSchedScheduler` is the paper's adapted baseline: the same state
 representation but plain PPO, no adaptive masking, no clustering and no
@@ -36,6 +41,7 @@ from ..config import BQSchedConfig
 from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, INSTANCE_FEATURE_DIM
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
+from ..perf import PerformanceModel, SimulatedCluster
 from ..plans import PlanFeaturizer
 from ..runtime import ExecutionRuntime, ServiceReport
 from ..workloads import ArrivalProcess, BatchQuerySet, ClosedArrivals, Workload, make_arrival_process
@@ -89,13 +95,10 @@ class RLSchedulerBase(BaseScheduler):
         # A Cluster backend switches the action space to joint
         # (query, instance, configuration) choices; the policy heads widen
         # accordingly and every environment becomes a ClusterSchedulingEnv.
-        # The learned simulator and gain clustering model single-engine
-        # dynamics, so they are disabled on fleets (per-instance simulators
-        # are an open roadmap item).
+        # The learned simulator and gain clustering work on fleets too: the
+        # performance model trains per instance from instance-tagged logs and
+        # pre-training runs against a SimulatedCluster twin of the fleet.
         self.num_instances = engine.num_instances if isinstance(engine, Cluster) else 1
-        if isinstance(engine, Cluster):
-            self.use_simulator = False
-            self.use_clustering = False
 
         self.config_space = ConfigurationSpace(self.config.scheduler)
         featurizer = PlanFeaturizer(workload.catalog)
@@ -110,7 +113,12 @@ class RLSchedulerBase(BaseScheduler):
             else AdaptiveMask.unmasked(len(self.batch), len(self.config_space))
         )
         self.clusters: QueryClusters | None = None
-        self.simulator: LearnedSimulator | None = None
+        #: The pre-training backend: a single-engine LearnedSimulator or, on
+        #: fleets, a SimulatedCluster over the shared performance model.
+        self.simulator: "LearnedSimulator | SimulatedCluster | None" = None
+        #: The unified prediction stack behind the simulator (and the learned
+        #: cost estimates); on single engines this is ``simulator.perf``.
+        self.perf_model: PerformanceModel | None = None
         self.history_log = ExecutionLog()
 
         run_featurizer = RunStateFeaturizer(
@@ -162,6 +170,7 @@ class RLSchedulerBase(BaseScheduler):
                 config_space=self.config_space,
                 knowledge=self.knowledge,
                 mask=self.mask,
+                clusters=self.clusters,
                 strategy_name=self.name,
             )
         return SchedulingEnv(
@@ -236,15 +245,33 @@ class RLSchedulerBase(BaseScheduler):
             self.env = self._build_env(backend=self.engine)
 
         if self.use_simulator:
-            self.simulator = LearnedSimulator(
-                batch=self.batch,
-                plan_embeddings=self.plan_embeddings,
-                knowledge=self.knowledge,
-                config_space=self.config_space,
-                config=self.config.simulator,
-                seed=self.config.seed,
-            )
-            self.simulator.train_from_log(self.history_log)
+            if isinstance(self.engine, Cluster):
+                # One performance model covers the whole fleet: examples are
+                # reconstructed per instance from the instance-tagged history
+                # log and every row carries the instance-context channel.
+                self.perf_model = PerformanceModel(
+                    batch=self.batch,
+                    plan_embeddings=self.plan_embeddings,
+                    knowledge=self.knowledge,
+                    config_space=self.config_space,
+                    config=self.config.simulator,
+                    seed=self.config.seed,
+                    instance_speeds=self.engine.speed_factors(),
+                )
+                self.perf_model.train_from_log(self.history_log)
+                self.simulator = SimulatedCluster.for_cluster(self.perf_model, self.engine)
+            else:
+                simulator = LearnedSimulator(
+                    batch=self.batch,
+                    plan_embeddings=self.plan_embeddings,
+                    knowledge=self.knowledge,
+                    config_space=self.config_space,
+                    config=self.config.simulator,
+                    seed=self.config.seed,
+                )
+                simulator.train_from_log(self.history_log)
+                self.simulator = simulator
+                self.perf_model = simulator.perf
 
         self.timings["prepare"] = time.perf_counter() - started
         self._prepared = True
@@ -422,7 +449,11 @@ class RLSchedulerBase(BaseScheduler):
         again.  Returns per-tenant makespans and latency percentiles.
         """
         if self.clusters is not None:
-            raise SchedulingError("serve() schedules at query level; cluster mode is not supported")
+            raise SchedulingError(
+                "serve() schedules at query level, but this policy was trained over "
+                "gain-clustered (cluster, configuration) actions; rebuild with "
+                "config.clustering.enabled = False (and a batch of <= 150 queries) to serve"
+            )
         service = self.config.service
         num_tenants = num_tenants if num_tenants is not None else service.num_tenants
         if num_tenants < 1:
@@ -467,11 +498,19 @@ class RLSchedulerBase(BaseScheduler):
     # Online adaptation
     # ------------------------------------------------------------------ #
     def ingest_online_log(self, log: ExecutionLog) -> None:
-        """Feed freshly collected logs back into the knowledge base and simulator."""
+        """Feed freshly collected logs back into the knowledge base and simulator.
+
+        The continual-adaptation loop of Section IV-C, fleet-capable: the
+        knowledge base refreshes its per-query expectations and the
+        performance model fine-tunes incrementally — on clusters the
+        instance-tagged records route into per-instance concurrency examples,
+        so each engine instance's dynamics keep tracking reality during
+        :meth:`serve`.
+        """
         self.history_log.extend(log)
         self.knowledge.update_from_log(log)
-        if self.simulator is not None:
-            self.simulator.update_from_log(log)
+        if self.perf_model is not None:
+            self.perf_model.update_from_log(log)
 
 
 class BQSched(RLSchedulerBase):
@@ -483,7 +522,12 @@ class BQSched(RLSchedulerBase):
     use_simulator = True
     use_attention_state = True
 
-    def __init__(self, workload: Workload, engine: DatabaseEngine, config: BQSchedConfig | None = None) -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        engine: "DatabaseEngine | Cluster",
+        config: BQSchedConfig | None = None,
+    ) -> None:
         config = config or BQSchedConfig()
         # Cluster-level scheduling is only worthwhile for large query sets;
         # honour an explicit setting, otherwise enable it automatically.

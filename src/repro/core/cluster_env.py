@@ -31,6 +31,7 @@ from ..config import SchedulerConfig
 from ..dbms import Cluster, ConfigurationSpace
 from ..encoder import QueryRuntimeInfo, QueryStatus
 from ..exceptions import SchedulingError
+from ..perf import SimulatedCluster
 from ..runtime import RuntimeTenant
 from ..workloads import ArrivalProcess, BatchQuerySet
 from .env import SchedulingEnv
@@ -40,19 +41,41 @@ from .masking import AdaptiveMask
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.engine import RunningQueryState
 
-__all__ = ["ClusterSchedulingEnv", "cluster_instance_count"]
+__all__ = ["ClusterSchedulingEnv", "cluster_instance_count", "greedy_cost_instance"]
+
+
+def greedy_cost_instance(
+    available: "Sequence[int]",
+    outstanding: np.ndarray,
+    speeds: "Sequence[float]",
+    expected: float,
+) -> int:
+    """Idle instance minimising ``(outstanding + expected) / speed``.
+
+    The single definition of the greedy-cost placement rule, shared by
+    :class:`~repro.core.baselines.GreedyCostPlacementScheduler` and the
+    cluster-drain trailing placements of :class:`ClusterSchedulingEnv`.
+    Ties break to the lowest instance index.
+    """
+    if not available:
+        raise SchedulingError("no instance has an idle connection")
+    return min(
+        available,
+        key=lambda index: ((outstanding[index] + expected) / max(speeds[index], 1e-9), index),
+    )
 
 
 def cluster_instance_count(backend: object) -> int | None:
     """Instances behind a fleet backend, or ``None`` for single-engine backends.
 
     The single definition of "is this backend a fleet": a
-    :class:`~repro.dbms.Cluster` directly, or a
+    :class:`~repro.dbms.Cluster` (or its learned twin, a
+    :class:`~repro.perf.SimulatedCluster`) directly, or a
     :class:`~repro.runtime.RuntimeTenant` routing (possibly through nested
     tenants) to one.  Everything that branches on cluster-ness — this
     environment, the facade, ``evaluate_on`` — resolves through here.
     """
-    if isinstance(backend, Cluster):
+    if isinstance(backend, (Cluster, SimulatedCluster)):
         return backend.num_instances
     if isinstance(backend, RuntimeTenant):
         return cluster_instance_count(backend.runtime.backend)
@@ -84,8 +107,6 @@ class ClusterSchedulingEnv(SchedulingEnv):
         strategy_name: str = "rl",
         arrivals: "ArrivalProcess | Sequence[float] | None" = None,
     ) -> None:
-        if clusters is not None:
-            raise SchedulingError("cluster-level query grouping is not supported on a fleet environment")
         self.num_instances = _backend_num_instances(backend)
         super().__init__(
             batch=batch,
@@ -94,7 +115,7 @@ class ClusterSchedulingEnv(SchedulingEnv):
             config_space=config_space,
             knowledge=knowledge,
             mask=mask,
-            clusters=None,
+            clusters=clusters,
             strategy_name=strategy_name,
             arrivals=arrivals,
         )
@@ -121,21 +142,28 @@ class ClusterSchedulingEnv(SchedulingEnv):
         return slot, instance, config_index
 
     def action_mask(self) -> np.ndarray:
-        """Valid (query, instance, configuration) triples as one flat mask.
+        """Valid (slot, instance, configuration) triples as one flat mask.
 
-        A triple is valid when the query is pending *and arrived*, the
-        configuration is allowed by the adaptive mask, and the instance has
-        an idle connection (saturated instances mask out whole columns).
-        Whenever :meth:`can_decide` is true at least one entry is set: the
-        adaptive mask guarantees every query at least one configuration, and
-        ``can_decide`` requires a pending query plus an idle instance — so a
-        policy softmax over this mask can never collapse to all-masked.
+        A triple is valid when the slot is selectable (a pending-and-arrived
+        query, or a query cluster with members remaining), the configuration
+        is allowed by the adaptive mask, and the instance has an idle
+        connection (saturated instances mask out whole columns).  Whenever
+        :meth:`can_decide` is true at least one entry is set: the adaptive
+        mask guarantees every query at least one configuration, and
+        ``can_decide`` requires a selectable slot plus an idle instance — so
+        a policy softmax over this mask can never collapse to all-masked.
         """
         self._require_session()
-        per_query = self.mask.action_mask(self._session.pending).reshape(len(self.batch), self.num_configs)
         available = np.zeros(self.num_instances, dtype=bool)
         available[self._idle_instances()] = True
-        joint = per_query[:, None, :] & available[None, :, None]
+        if self.cluster_mode:
+            per_slot = np.zeros((self.num_action_slots, self.num_configs), dtype=bool)
+            for cluster_id, remaining in enumerate(self._cluster_remaining):
+                if remaining:
+                    per_slot[cluster_id, self._cluster_allowed_configs(cluster_id)] = True
+        else:
+            per_slot = self.mask.action_mask(self._session.pending).reshape(len(self.batch), self.num_configs)
+        joint = per_slot[:, None, :] & available[None, :, None]
         return joint.reshape(self.action_dim)
 
     # ------------------------------------------------------------------ #
@@ -190,6 +218,20 @@ class ClusterSchedulingEnv(SchedulingEnv):
             outstanding += foreign * mean_expected
         return outstanding
 
+    def _greedy_instance(self, query_id: int) -> int:
+        """Greedy-cost placement for the trailing members of a drained cluster.
+
+        The joint action only picks the placement of the cluster's first
+        submission; the rest follow :func:`greedy_cost_instance`, priced by
+        the environment's external knowledge.
+        """
+        return greedy_cost_instance(
+            self._idle_instances(),
+            self.instance_outstanding_work(),
+            self._session.speed_factors(),
+            self.knowledge.average_time(query_id),
+        )
+
     # ------------------------------------------------------------------ #
     # Overridden submission / observation hooks
     # ------------------------------------------------------------------ #
@@ -200,6 +242,34 @@ class ClusterSchedulingEnv(SchedulingEnv):
         if not self.mask.is_allowed(query_id, config_index):
             raise SchedulingError(f"configuration {config_index} is masked for query {query_id}")
         self._session.submit(query_id, self.config_space[config_index], instance=instance)
+
+    def _submit_cluster(self, cluster_id: int, joint_index: int) -> None:
+        """Drain one query cluster across the fleet.
+
+        The joint action fixes the cluster's shared configuration and the
+        placement of its *first* submission; the remaining members follow
+        greedily (least expected completion among idle instances), advancing
+        the clock whenever the whole fleet saturates — the fleet counterpart
+        of the base environment's back-to-back cluster drain.
+        """
+        instance, config_index = divmod(joint_index, self.num_configs)
+        remaining = self._cluster_remaining[cluster_id]
+        if not remaining:
+            raise SchedulingError(f"cluster {cluster_id} has no remaining queries")
+        cluster_params = self.config_space[config_index]
+        first = True
+        while remaining:
+            while remaining and self._session.has_idle_connection:
+                query_id = remaining.pop(0)
+                params = self._resolve_cluster_config(query_id, cluster_params, config_index)
+                if first and instance in self._idle_instances():
+                    target = instance
+                else:
+                    target = self._greedy_instance(query_id)
+                first = False
+                self._session.submit(query_id, params, instance=target)
+            if remaining:
+                self._session.advance()
 
     def _running_info(self, query_id: int, state: "RunningQueryState", now: float) -> QueryRuntimeInfo:
         """Joint (instance, configuration) one-hot index for running queries."""

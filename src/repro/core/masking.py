@@ -16,8 +16,8 @@ import numpy as np
 from ..config import MaskingConfig
 from ..dbms import ConfigurationSpace
 from ..exceptions import SchedulingError
+from ..perf import PerformanceEstimator
 from ..workloads import BatchQuerySet
-from .knowledge import ExternalKnowledge
 
 __all__ = ["AdaptiveMask"]
 
@@ -56,12 +56,16 @@ class AdaptiveMask:
     def build(
         cls,
         batch: BatchQuerySet,
-        knowledge: ExternalKnowledge,
+        knowledge: PerformanceEstimator,
         config_space: ConfigurationSpace,
         config: MaskingConfig,
     ) -> "AdaptiveMask":
-        """Derive the mask from external knowledge.
+        """Derive the mask from a performance estimator.
 
+        ``knowledge`` is any :class:`~repro.perf.PerformanceEstimator` — the
+        probe/log-derived :class:`~repro.core.knowledge.ExternalKnowledge` or
+        a learned :class:`~repro.perf.PerformanceModel` — so masking gains
+        come from the same interface as every other cost estimate.
         Configuration 0 (fewest resources) is always allowed; a richer
         configuration stays allowed only if it improves the query's isolated
         execution time by at least the absolute *and* relative thresholds.

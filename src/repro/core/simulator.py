@@ -3,20 +3,21 @@
 Sampling scheduling episodes against a real DBMS is slow, so BQSched trains a
 simulator from historical logs and pre-trains the RL policy against it.  The
 simulator answers one question: *given the current set of concurrent queries
-(and how long each has been running), which finishes first and when?*  It is
-a multitask model — a classifier over concurrent queries plus a regressor for
-the earliest remaining time — over the same kind of per-query features the
-scheduler's state encoder uses, optionally with an attention layer modelling
-the mutual influence of the concurrent queries.
+(and how long each has been running), which finishes first and when?*
 
-Online logs produced during deployment can be fed back through
-:meth:`LearnedSimulator.update_from_log` to fine-tune the prediction model
-incrementally (hence *incremental* simulator).
+The prediction stack itself — feature pipeline, multitask model, training
+and continual fine-tuning — lives in the :mod:`repro.perf` layer;
+:class:`LearnedSimulator` is the single-engine wrapper that additionally
+speaks the ``SessionBackend`` protocol (its fleet counterpart is
+:class:`repro.perf.SimulatedCluster`).  Online logs produced during
+deployment can be fed back through :meth:`LearnedSimulator.update_from_log`
+to fine-tune the prediction model incrementally (hence *incremental*
+simulator).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -24,105 +25,24 @@ from ..config import SimulatorConfig
 from ..dbms import ConfigurationSpace, ExecutionLog, QueryExecutionRecord, RoundLog, RunningParameters
 from ..dbms.engine import CompletionEvent, RunningQueryState
 from ..exceptions import SimulationError
-from ..nn import Adam, AttentionEncoder, Linear, MLP, Module, Tensor, cross_entropy, fastinfer, no_grad
-from ..workloads import BatchQuerySet
+from ..nn import Adam
+from ..perf import ConcurrentPredictionModel, PerformanceModel, SimulatorMetrics
+from ..perf.features import MIN_REMAINING as _MIN_REMAINING
+from ..perf.features import TIME_SCALE as _TIME_SCALE
+from ..workloads import BatchQuerySet, Query
 from .knowledge import ExternalKnowledge
 
 __all__ = ["ConcurrentPredictionModel", "LearnedSimulator", "SimulatedSession", "SimulatorMetrics"]
 
-_TIME_SCALE = 10.0
-_MIN_REMAINING = 0.05
-
-
-@dataclass
-class SimulatorMetrics:
-    """Validation metrics of the prediction model (Table III)."""
-
-    accuracy: float
-    mse: float
-    num_examples: int
-
-    def __repr__(self) -> str:
-        return f"SimulatorMetrics(acc={self.accuracy:.1%}, mse={self.mse:.3f}, n={self.num_examples})"
-
-
-class ConcurrentPredictionModel(Module):
-    """Multitask model: earliest-finisher classification + remaining-time regression."""
-
-    def __init__(
-        self,
-        feature_dim: int,
-        hidden_dim: int,
-        rng: np.random.Generator,
-        use_attention: bool = True,
-        num_heads: int = 2,
-    ) -> None:
-        super().__init__()
-        self.use_attention = use_attention
-        self.input_proj = Linear(feature_dim, hidden_dim, rng)
-        if use_attention:
-            self.encoder = AttentionEncoder(hidden_dim, num_heads, 1, rng, norm="layer")
-        self.classifier = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
-        self.regressor = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
-
-    def forward(self, features: np.ndarray) -> tuple[Tensor, Tensor]:
-        """Return ``(class_logits, remaining_times)`` for ``(k, feature_dim)`` inputs."""
-        tokens = self.input_proj(Tensor(features)).tanh()
-        if self.use_attention:
-            tokens = self.encoder(tokens)
-        logits = self.classifier(tokens).reshape(features.shape[0])
-        times = self.regressor(tokens).reshape(features.shape[0])
-        return logits, times
-
-    def predict(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Tape-free inference returning plain arrays (the rollout hot path).
-
-        Bit-identical to :meth:`forward` but evaluated with raw NumPy, which
-        is what keeps the simulator's ``advance`` cheap when N vectorized
-        environments each advance their own session every decision round.
-        """
-        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
-            with no_grad():  # pragma: no cover - the simulator always uses LayerNorm
-                logits, times = self.forward(features)
-            return logits.data, times.data
-        tokens = np.tanh(fastinfer.linear_forward(self.input_proj, features))
-        if self.use_attention:
-            tokens = fastinfer.attention_encoder_forward(self.encoder, tokens)
-        logits = fastinfer.mlp_forward(self.classifier, tokens).reshape(features.shape[0])
-        times = fastinfer.mlp_forward(self.regressor, tokens).reshape(features.shape[0])
-        return logits, times
-
-    def predict_batched(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Tape-free inference over a ``(groups, k, feature_dim)`` stack.
-
-        One stacked forward serves every simulated session that needs an
-        advance this lockstep round (grouped by equal ``k``), instead of one
-        model call per session.
-        """
-        groups, k = features.shape[0], features.shape[1]
-        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
-            rows = [self.predict(features[g]) for g in range(groups)]  # pragma: no cover
-            return np.stack([r[0] for r in rows]), np.stack([r[1] for r in rows])
-        features = features.astype(np.float32)
-        tokens = np.tanh(fastinfer.linear_forward(self.input_proj, features))
-        if self.use_attention:
-            tokens = fastinfer.attention_encoder_forward_batched(self.encoder, tokens)
-        logits = fastinfer.mlp_forward(self.classifier, tokens).reshape(groups, k)
-        times = fastinfer.mlp_forward(self.regressor, tokens).reshape(groups, k)
-        return logits, times
-
-
-@dataclass
-class _Example:
-    """One training example derived from a concurrency snapshot."""
-
-    features: np.ndarray
-    earliest_index: int
-    earliest_remaining: float
-
 
 class LearnedSimulator:
-    """The DBMS stand-in the scheduler pre-trains against."""
+    """The single-engine DBMS stand-in the scheduler pre-trains against.
+
+    A thin backend facade over a :class:`repro.perf.PerformanceModel`
+    (exposed as :attr:`perf`): featurisation, training, fine-tuning and
+    evaluation all delegate to it, and :meth:`new_session` opens simulated
+    rounds that consume its predictions.
+    """
 
     def __init__(
         self,
@@ -139,64 +59,39 @@ class LearnedSimulator:
         self.config_space = config_space
         self.config = config
         self.seed = seed
-        rng = np.random.default_rng(seed)
-        feature_dim = plan_embeddings.shape[1] + len(config_space) + 2
-        self.model = ConcurrentPredictionModel(
-            feature_dim=feature_dim,
-            hidden_dim=config.hidden_dim,
-            rng=rng,
-            use_attention=config.use_attention,
+        self.perf = PerformanceModel(
+            batch=batch,
+            plan_embeddings=plan_embeddings,
+            knowledge=knowledge,
+            config_space=config_space,
+            config=config,
+            seed=seed,
         )
-        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
-        self._rng = rng
 
     # ------------------------------------------------------------------ #
-    # Featurisation
+    # Delegation to the performance-model layer
     # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> ConcurrentPredictionModel:
+        return self.perf.model
+
+    @property
+    def optimizer(self) -> Adam:
+        return self.perf.optimizer
+
     @property
     def elapsed_column(self) -> int:
         """Index of the ``tanh(elapsed)`` entry in a feature row."""
-        return self.plan_embeddings.shape[1] + len(self.config_space)
+        return self.perf.featurizer.elapsed_column
 
     def _features(
         self,
-        query_ids: "tuple[int, ...] | list[int]",
-        parameters: "tuple[RunningParameters, ...] | list[RunningParameters]",
-        elapsed: "tuple[float, ...] | list[float]",
+        query_ids: Sequence[int],
+        parameters: Sequence[RunningParameters],
+        elapsed: Sequence[float],
     ) -> np.ndarray:
-        rows = []
-        for query_id, params, elapsed_time in zip(query_ids, parameters, elapsed):
-            config_index = self.config_space.index_of(params)
-            config_onehot = np.zeros(len(self.config_space))
-            config_onehot[config_index] = 1.0
-            expected = self.knowledge.expected_time(query_id, config_index)
-            rows.append(
-                np.concatenate(
-                    [
-                        self.plan_embeddings[query_id],
-                        config_onehot,
-                        [np.tanh(elapsed_time / _TIME_SCALE), np.tanh(expected / _TIME_SCALE)],
-                    ]
-                )
-            )
-        return np.stack(rows, axis=0)
+        return self.perf.featurizer.rows(query_ids, parameters, elapsed)
 
-    def _examples_from_log(self, log: ExecutionLog) -> list[_Example]:
-        examples = []
-        for snapshot in log.concurrency_snapshots():
-            features = self._features(snapshot.running_query_ids, snapshot.parameters, snapshot.elapsed)
-            examples.append(
-                _Example(
-                    features=features,
-                    earliest_index=snapshot.earliest_index,
-                    earliest_remaining=snapshot.earliest_remaining,
-                )
-            )
-        return examples
-
-    # ------------------------------------------------------------------ #
-    # Training
-    # ------------------------------------------------------------------ #
     def train_from_log(
         self, log: ExecutionLog, epochs: int | None = None, validation_fraction: float = 0.2
     ) -> SimulatorMetrics:
@@ -205,65 +100,15 @@ class LearnedSimulator:
         A held-out fraction of the snapshots is used to report the
         classification accuracy and regression MSE of Table III.
         """
-        examples = self._examples_from_log(log)
-        if len(examples) < 4:
-            raise SimulationError("not enough concurrency snapshots in the log to train the simulator")
-        self._rng.shuffle(examples)
-        split = max(1, int(len(examples) * validation_fraction))
-        validation, training = examples[:split], examples[split:]
-        self._fit(training, epochs or self.config.epochs)
-        return self.evaluate_examples(validation)
+        return self.perf.train_from_log(log, epochs=epochs, validation_fraction=validation_fraction)
 
     def update_from_log(self, log: ExecutionLog) -> SimulatorMetrics:
         """Incrementally fine-tune on freshly collected (online) logs."""
-        examples = self._examples_from_log(log)
-        if not examples:
-            raise SimulationError("online log contains no concurrency snapshots")
-        self._fit(examples, self.config.incremental_epochs)
-        return self.evaluate_examples(examples)
-
-    def _fit(self, examples: list[_Example], epochs: int) -> None:
-        if not examples:
-            return
-        order = list(range(len(examples)))
-        for _ in range(epochs):
-            self._rng.shuffle(order)
-            for index in order:
-                example = examples[index]
-                logits, times = self.model(example.features)
-                classification = cross_entropy(logits, example.earliest_index)
-                target = example.earliest_remaining / _TIME_SCALE
-                prediction = times[example.earliest_index]
-                regression = (prediction - target) ** 2
-                loss = classification
-                if self.config.use_multitask:
-                    loss = loss + self.config.gamma_regression * regression
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-
-    def evaluate_examples(self, examples: list[_Example]) -> SimulatorMetrics:
-        """Accuracy / MSE of the model on a set of examples."""
-        if not examples:
-            return SimulatorMetrics(accuracy=float("nan"), mse=float("nan"), num_examples=0)
-        correct = 0
-        squared_errors = []
-        with no_grad():
-            for example in examples:
-                logits, times = self.model(example.features)
-                predicted_index = int(np.argmax(logits.data))
-                correct += int(predicted_index == example.earliest_index)
-                predicted_time = float(times.data[predicted_index])
-                squared_errors.append((predicted_time - example.earliest_remaining / _TIME_SCALE) ** 2)
-        return SimulatorMetrics(
-            accuracy=correct / len(examples),
-            mse=float(np.mean(squared_errors)),
-            num_examples=len(examples),
-        )
+        return self.perf.update_from_log(log)
 
     def evaluate_on_log(self, log: ExecutionLog) -> SimulatorMetrics:
         """Evaluate on all snapshots of ``log`` without training."""
-        return self.evaluate_examples(self._examples_from_log(log))
+        return self.perf.evaluate_on_log(log)
 
     # ------------------------------------------------------------------ #
     # Backend protocol
@@ -343,7 +188,7 @@ class SimulatedSession:
     def running_states(self) -> list[RunningQueryState]:
         return list(self.running.values())
 
-    def pending_queries(self):
+    def pending_queries(self) -> list[Query]:
         return [self.batch[i] for i in self.pending]
 
     # -- protocol methods ----------------------------------------------- #

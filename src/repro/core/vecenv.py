@@ -135,8 +135,9 @@ class VectorSchedulingEnv:
         if len(indices) != len(actions):
             raise SchedulingError("indices and actions must align")
         # Even a single remaining active env stays on the lockstep path, so a
-        # session's dynamics (float32 batched predictions) never depend on
-        # how many peer episodes happen to still be running.  Sessions opt in
+        # session's dynamics never depend on how many peer episodes happen to
+        # still be running (batched predictions preserve the input dtype and
+        # match the sequential path bit-for-bit).  Sessions opt in
         # via ``supports_lockstep``: simulator-backed single-tenant closed
         # rounds only — a shared multi-tenant clock or scheduled arrivals
         # cannot be batched across environments.

@@ -343,6 +343,7 @@ class ClusterSession:
                 parameters=local.parameters,
                 submit_time=local.submit_time,
                 finish_time=local.finish_time,
+                instance=instance,
             )
         )
         return CompletionEvent(

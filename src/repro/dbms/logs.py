@@ -25,7 +25,13 @@ __all__ = ["QueryExecutionRecord", "RoundLog", "ExecutionLog", "ConcurrencySnaps
 
 @dataclass(frozen=True)
 class QueryExecutionRecord:
-    """One query execution inside one scheduling round."""
+    """One query execution inside one scheduling round.
+
+    ``instance`` identifies the engine instance the query ran on; plain
+    single-engine rounds always record instance 0, cluster rounds record the
+    placement chosen at submit time.  The tag is what lets the performance
+    model reconstruct *per-instance* concurrency snapshots from fleet logs.
+    """
 
     query_id: int
     query_name: str
@@ -34,6 +40,7 @@ class QueryExecutionRecord:
     parameters: RunningParameters
     submit_time: float
     finish_time: float
+    instance: int = 0
 
     def __post_init__(self) -> None:
         if self.finish_time < self.submit_time:
@@ -68,6 +75,7 @@ class ConcurrencySnapshot:
     elapsed: tuple[float, ...]
     earliest_index: int
     earliest_remaining: float
+    instance: int = 0
 
 
 @dataclass
@@ -96,10 +104,30 @@ class RoundLog:
     def __iter__(self) -> Iterator[QueryExecutionRecord]:
         return iter(self.records)
 
-    def concurrency_snapshots(self) -> list[ConcurrencySnapshot]:
-        """Reconstruct the concurrent-query state at every submission instant."""
+    def concurrency_snapshots(self, per_instance: bool = False) -> list[ConcurrencySnapshot]:
+        """Reconstruct the concurrent-query state at every submission instant.
+
+        With ``per_instance=True`` the reconstruction runs within each engine
+        instance's records separately (queries placed on different instances
+        of a fleet do not share resources), tagging every snapshot with its
+        instance — the training examples of a cluster-capable performance
+        model.  The default keeps the historical whole-round stream, which is
+        identical on single-engine logs (everything is instance 0).
+        """
+        if not per_instance:
+            return self._snapshots_of(sorted(self.records, key=lambda r: r.submit_time), instance=0)
         snapshots: list[ConcurrencySnapshot] = []
-        records = sorted(self.records, key=lambda r: r.submit_time)
+        by_instance: dict[int, list[QueryExecutionRecord]] = {}
+        for record in self.records:
+            by_instance.setdefault(record.instance, []).append(record)
+        for instance in sorted(by_instance):
+            records = sorted(by_instance[instance], key=lambda r: r.submit_time)
+            snapshots.extend(self._snapshots_of(records, instance=instance))
+        return snapshots
+
+    @staticmethod
+    def _snapshots_of(records: list[QueryExecutionRecord], instance: int) -> list[ConcurrencySnapshot]:
+        snapshots: list[ConcurrencySnapshot] = []
         for record in records:
             now = record.submit_time
             running = [r for r in records if r.submit_time <= now < r.finish_time]
@@ -115,6 +143,7 @@ class RoundLog:
                     elapsed=tuple(now - r.submit_time for r in running),
                     earliest_index=earliest,
                     earliest_remaining=float(remaining[earliest]),
+                    instance=instance,
                 )
             )
         return snapshots
@@ -195,9 +224,9 @@ class ExecutionLog:
     def makespans(self) -> list[float]:
         return [round_log.makespan for round_log in self._rounds]
 
-    def concurrency_snapshots(self) -> list[ConcurrencySnapshot]:
+    def concurrency_snapshots(self, per_instance: bool = False) -> list[ConcurrencySnapshot]:
         """All concurrent-state snapshots across rounds (simulator training data)."""
         snapshots: list[ConcurrencySnapshot] = []
         for round_log in self._rounds:
-            snapshots.extend(round_log.concurrency_snapshots())
+            snapshots.extend(round_log.concurrency_snapshots(per_instance=per_instance))
         return snapshots

@@ -1,0 +1,371 @@
+"""A learned-simulator stand-in for a whole heterogeneous fleet.
+
+:class:`SimulatedCluster` mirrors :class:`~repro.dbms.Cluster` the way the
+single-engine ``LearnedSimulator`` mirrors a
+:class:`~repro.dbms.DatabaseEngine`: it opens
+:class:`SimulatedClusterSession` rounds that speak the cluster session
+protocol — placement-aware ``submit(query_id, params, instance=)``,
+per-instance logical clocks unified behind one round clock, deterministic
+completion merging (earliest predicted finish wins, instance index breaks
+ties), bounded ``advance(limit)`` and ``defer``/``release`` for streaming
+arrivals — so the :class:`~repro.runtime.ExecutionRuntime`, the
+:class:`~repro.core.cluster_env.ClusterSchedulingEnv` and the vectorized
+rollout engine run against a simulated fleet unchanged.
+
+Every advance asks the shared :class:`~repro.perf.PerformanceModel` one
+question per busy instance: *of the queries running on this instance, which
+finishes first and when?*  At ``num_instances == 1`` the arithmetic —
+feature rows, prediction, clock updates, connection allocation — is
+bit-for-bit the single-engine ``SimulatedSession``'s (digest-pinned in
+``tests/test_perf.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..dbms import INSTANCE_FEATURE_DIM, QueryExecutionRecord, RoundLog, RunningParameters
+from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..exceptions import SimulationError
+from ..workloads import BatchQuerySet, Query
+from .features import MIN_REMAINING, TIME_SCALE
+from .perfmodel import PerformanceModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms import Cluster
+
+__all__ = ["SimulatedCluster", "SimulatedClusterSession"]
+
+
+class _SimulatedInstance:
+    """Per-instance execution state behind one simulated fleet round."""
+
+    def __init__(self, index: int, num_connections: int) -> None:
+        if num_connections < 1:
+            raise SimulationError("num_connections must be >= 1")
+        self.index = index
+        self.num_connections = num_connections
+        self.idle = num_connections
+        self.clock = 0.0
+        self.running: dict[int, RunningQueryState] = {}
+        self.feature_rows: dict[int, np.ndarray] = {}
+
+    @property
+    def has_idle_connection(self) -> bool:
+        return self.idle > 0
+
+
+class SimulatedCluster:
+    """Opens simulated fleet rounds served by one :class:`PerformanceModel`."""
+
+    def __init__(
+        self,
+        perf: PerformanceModel,
+        instance_connections: Sequence[int],
+        name: str = "simulated-cluster",
+    ) -> None:
+        if not instance_connections:
+            raise SimulationError("a simulated cluster needs at least one instance")
+        if len(instance_connections) != perf.num_instances:
+            raise SimulationError(
+                f"performance model covers {perf.num_instances} instances, "
+                f"got {len(instance_connections)} connection counts"
+            )
+        self.perf = perf
+        self.instance_connections = tuple(int(count) for count in instance_connections)
+        self.name = name
+        self._round_counter = 0
+
+    @classmethod
+    def for_cluster(cls, perf: PerformanceModel, cluster: "Cluster", name: str | None = None) -> "SimulatedCluster":
+        """A simulated twin of ``cluster`` (same topology and defaults)."""
+        connections = [engine.profile.default_connections for engine in cluster.engines]
+        return cls(perf, connections, name=name or f"simulated-{cluster.name}")
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        return len(self.instance_connections)
+
+    def speed_factors(self) -> tuple[float, ...]:
+        speeds = self.perf.featurizer.instance_speeds
+        return speeds if speeds else (1.0,) * self.num_instances
+
+    # ------------------------------------------------------------------ #
+    # Backend protocol
+    # ------------------------------------------------------------------ #
+    def new_session(
+        self,
+        batch: BatchQuerySet,
+        num_connections: int | None = None,
+        strategy: str = "",
+        round_id: int | None = None,
+    ) -> "SimulatedClusterSession":
+        """Open one simulated round across every instance.
+
+        ``num_connections`` is *per instance* (the cluster convention);
+        ``None`` uses each instance's default connection count.
+        """
+        if round_id is None:
+            round_id = self._round_counter
+        self._round_counter = max(self._round_counter, round_id) + 1
+        connections = [
+            num_connections if num_connections is not None else default
+            for default in self.instance_connections
+        ]
+        return SimulatedClusterSession(
+            cluster=self,
+            batch=batch,
+            instance_connections=connections,
+            strategy=strategy,
+            round_id=round_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"SimulatedCluster({self.name!r}, instances={self.num_instances})"
+
+
+class SimulatedClusterSession:
+    """One simulated scheduling round across a fleet of engine instances."""
+
+    supports_lockstep = False
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        batch: BatchQuerySet,
+        instance_connections: Sequence[int],
+        strategy: str = "",
+        round_id: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.perf = cluster.perf
+        self.batch = batch
+        self.round_id = round_id
+        self.current_time = 0.0
+        self.pending: list[int] = [query.query_id for query in batch]
+        self.deferred: list[int] = []
+        self.finished: dict[int, float] = {}
+        self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
+        self.instances = [
+            _SimulatedInstance(index, count) for index, count in enumerate(instance_connections)
+        ]
+        self._placement: dict[int, int] = {}
+        self._connection_offsets: list[int] = []
+        offset = 0
+        for count in instance_connections:
+            self._connection_offsets.append(offset)
+            offset += int(count)
+        self.num_connections = offset
+
+    # ------------------------------------------------------------------ #
+    # Cluster topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def instance_of(self, query_id: int) -> int:
+        """The instance a running/finished query was placed on (-1 if never)."""
+        return self._placement.get(query_id, -1)
+
+    def idle_instances(self) -> list[int]:
+        return [instance.index for instance in self.instances if instance.has_idle_connection]
+
+    def instance_num_running(self) -> list[int]:
+        return [len(instance.running) for instance in self.instances]
+
+    def speed_factors(self) -> tuple[float, ...]:
+        return self.cluster.speed_factors()
+
+    def instance_context(self) -> np.ndarray:
+        """Observable per-instance context, mirroring the real cluster's.
+
+        The simulator has no buffer pool, so the buffer-fill column stays
+        zero; speed, busy fraction and capacity share match the layout of
+        :meth:`~repro.dbms.cluster.ClusterSession.instance_context`.
+        """
+        context = np.zeros((self.num_instances, INSTANCE_FEATURE_DIM), dtype=np.float64)
+        speeds = self.speed_factors()
+        total_connections = max(1, self.num_connections)
+        for index, instance in enumerate(self.instances):
+            context[index, 0] = speeds[index]
+            context[index, 1] = len(instance.running) / instance.num_connections
+            context[index, 2] = instance.num_connections / total_connections
+        return context
+
+    # ------------------------------------------------------------------ #
+    # Session protocol: state
+    # ------------------------------------------------------------------ #
+    @property
+    def is_done(self) -> bool:
+        return not self.pending and not self.deferred and self.num_running == 0
+
+    @property
+    def running(self) -> dict[int, RunningQueryState]:
+        """Aggregated running-state view across every instance."""
+        merged: dict[int, RunningQueryState] = {}
+        for instance in self.instances:
+            merged.update(instance.running)
+        return merged
+
+    @property
+    def has_idle_connection(self) -> bool:
+        return any(instance.has_idle_connection for instance in self.instances)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    @property
+    def num_running(self) -> int:
+        return sum(len(instance.running) for instance in self.instances)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finished.values(), default=0.0)
+
+    def pending_queries(self) -> list[Query]:
+        return [self.batch[i] for i in self.pending]
+
+    def running_states(self) -> list[RunningQueryState]:
+        return list(self.running.values())
+
+    # ------------------------------------------------------------------ #
+    # Session protocol: streaming arrivals
+    # ------------------------------------------------------------------ #
+    def defer(self, query_ids: "list[int]") -> None:
+        for query_id in query_ids:
+            if query_id not in self.pending:
+                raise SimulationError(f"query {query_id} is not pending and cannot be deferred")
+            self.pending.remove(query_id)
+            self.deferred.append(query_id)
+
+    def release(self, query_id: int) -> None:
+        if query_id not in self.deferred:
+            raise SimulationError(f"query {query_id} is not deferred")
+        self.deferred.remove(query_id)
+        self.pending.append(query_id)
+
+    def unarrived_ids(self) -> "tuple[int, ...]":
+        return tuple(self.deferred)
+
+    def arrival_time(self, query_id: int) -> float:
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # Session protocol: scheduling
+    # ------------------------------------------------------------------ #
+    def submit(self, query_id: int, parameters: RunningParameters, instance: int = 0) -> int:
+        """Submit a pending query to ``instance`` at the current logical time.
+
+        Returns the *global* connection id (instance connection offsets),
+        matching :meth:`~repro.dbms.cluster.ClusterSession.submit`.
+        """
+        if not 0 <= instance < self.num_instances:
+            raise SimulationError(f"instance {instance} out of range (fleet has {self.num_instances})")
+        if query_id not in self.pending:
+            raise SimulationError(f"query {query_id} is not pending in the simulator")
+        target = self.instances[instance]
+        if target.idle <= 0:
+            raise SimulationError(f"instance {instance} has no idle connection in the simulated session")
+        target.idle -= 1
+        connection = target.num_connections - target.idle - 1
+        self.pending.remove(query_id)
+        self._placement[query_id] = instance
+        target.running[query_id] = RunningQueryState(
+            query=self.batch[query_id],
+            parameters=parameters,
+            connection=connection,
+            submit_time=self.current_time,
+            remaining_work=1.0,
+            total_work=1.0,
+        )
+        return self._connection_offsets[instance] + connection
+
+    def _feature_row(self, instance: _SimulatedInstance, state: RunningQueryState) -> np.ndarray:
+        """Cached per-query feature row (dynamic slots rewritten per advance)."""
+        query_id = state.query.query_id
+        row = instance.feature_rows.get(query_id)
+        if row is None:
+            row = self.perf.featurizer.rows(
+                [query_id], [state.parameters], [0.0], instance=instance.index
+            )[0]
+            instance.feature_rows[query_id] = row
+        return row
+
+    def _instance_prediction(
+        self, instance: _SimulatedInstance
+    ) -> tuple[float, list[RunningQueryState], int]:
+        """Predicted (finish_time, states, earliest index) for one instance."""
+        states = list(instance.running.values())
+        features = np.stack([self._feature_row(instance, state) for state in states], axis=0)
+        elapsed = np.array([self.current_time - state.submit_time for state in states])
+        self.perf.featurizer.rewrite_dynamic_columns(features, elapsed)
+        logits, times = self.perf.model.predict(features)
+        index = int(np.argmax(logits))
+        remaining = max(MIN_REMAINING, float(times[index]) * TIME_SCALE)
+        return self.current_time + remaining, states, index
+
+    def advance(self, limit: float | None = None) -> CompletionEvent | None:
+        """Advance the unified clock to the earliest predicted completion.
+
+        Semantics mirror :meth:`~repro.dbms.cluster.ClusterSession.advance`:
+        each busy instance predicts its earliest finisher, the globally
+        earliest one is materialised (instance index breaks exact ties), and
+        with a ``limit`` the clock never moves past it (``None`` returned).
+        """
+        if self.num_running == 0:
+            if limit is None:
+                raise SimulationError("cannot advance: no query running in the simulator")
+            self.current_time = max(self.current_time, limit)
+            for instance in self.instances:
+                instance.clock = self.current_time
+            return None
+        candidates: list[tuple[float, int, list[RunningQueryState], int]] = []
+        for instance in self.instances:
+            if not instance.running:
+                continue
+            finish_time, states, index = self._instance_prediction(instance)
+            candidates.append((finish_time, instance.index, states, index))
+        finish_time, winner, states, index = min(candidates, key=lambda entry: (entry[0], entry[1]))
+        if limit is not None and finish_time > limit:
+            self.current_time = limit
+            for instance in self.instances:
+                instance.clock = self.current_time
+            return None
+        self.current_time = finish_time
+        for instance in self.instances:
+            instance.clock = self.current_time
+        return self._finish(self.instances[winner], states[index])
+
+    def _finish(self, instance: _SimulatedInstance, state: RunningQueryState) -> CompletionEvent:
+        """Materialise one predicted completion into log, state and event."""
+        query_id = state.query.query_id
+        del instance.running[query_id]
+        instance.feature_rows.pop(query_id, None)
+        instance.idle += 1
+        self.finished[query_id] = self.current_time
+        connection = self._connection_offsets[instance.index] + state.connection
+        self.log.add(
+            QueryExecutionRecord(
+                query_id=query_id,
+                query_name=state.query.name,
+                template_id=state.query.template_id,
+                connection=connection,
+                parameters=state.parameters,
+                submit_time=state.submit_time,
+                finish_time=self.current_time,
+                instance=instance.index,
+            )
+        )
+        return CompletionEvent(
+            query_id=query_id,
+            finish_time=self.current_time,
+            connection=connection,
+            instance=instance.index,
+        )

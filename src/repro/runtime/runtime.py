@@ -545,6 +545,7 @@ class TenantSession:
                     parameters=record.parameters,
                     submit_time=record.submit_time,
                     finish_time=record.finish_time,
+                    instance=record.instance,
                 )
             )
 

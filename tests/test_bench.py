@@ -119,6 +119,53 @@ class TestJsonReporting:
         assert document["payload"]["series"] == [0, 1, 2]
         assert document["payload"]["nested"] == {"count": 4, "flag": True, "none": None}
 
+    def test_non_finite_floats_serialise_as_null(self, tmp_path):
+        """Regression: ``json.dumps`` used to emit bare ``NaN`` tokens.
+
+        A SimulatorMetrics evaluated on an empty log reports nan accuracy /
+        mse; the report must still be valid JSON (nan/inf -> null)."""
+        import json
+        import math
+
+        import numpy as np
+
+        from repro.bench import write_json_report
+
+        payload = {
+            "metrics": {"accuracy": float("nan"), "mse": np.float64("nan"), "num_examples": 0},
+            "series": np.array([1.0, float("inf"), -float("inf")]),
+            "fine": 1.5,
+        }
+        path = write_json_report("nan_regression", payload, directory=tmp_path)
+        text = path.read_text(encoding="utf-8")
+        assert "NaN" not in text and "Infinity" not in text
+        document = json.loads(text)  # must parse as strict JSON
+        assert document["payload"]["metrics"]["accuracy"] is None
+        assert document["payload"]["metrics"]["mse"] is None
+        assert document["payload"]["metrics"]["num_examples"] == 0
+        assert document["payload"]["series"] == [1.0, None, None]
+        assert math.isclose(document["payload"]["fine"], 1.5)
+
+    def test_empty_log_simulator_metrics_round_trip(self, tmp_path):
+        """The exact producer of the bug: evaluate_examples([]) -> nan metrics."""
+        import json
+        import math
+
+        from repro.bench import write_json_report
+        from repro.perf import PerformanceModel
+
+        # evaluate_examples returns before touching self on an empty set.
+        empty = PerformanceModel.evaluate_examples(None, [])
+        assert math.isnan(empty.accuracy) and math.isnan(empty.mse) and empty.num_examples == 0
+        path = write_json_report(
+            "empty_metrics",
+            {"accuracy": empty.accuracy, "mse": empty.mse, "num_examples": empty.num_examples},
+            directory=tmp_path,
+        )
+        with path.open(encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["payload"] == {"accuracy": None, "mse": None, "num_examples": 0}
+
     def test_results_dir_env_override(self, tmp_path, monkeypatch):
         from repro.bench import results_dir, write_json_report
 
@@ -151,6 +198,72 @@ def _load_run_all():
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_compare():
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCompareBaselines:
+    """Satellite: benchmarks/compare.py diffs results against baselines."""
+
+    def _write(self, directory, name, payload):
+        from repro.bench import write_json_report
+
+        return write_json_report(name, payload, directory=directory)
+
+    def test_flatten_extracts_numeric_leaves_only(self):
+        compare = _load_compare()
+        flat = compare.flatten({"a": {"b": 1.5, "label": "x", "flag": True}, "c": [2, {"d": 3.0}]})
+        assert flat == {"a.b": 1.5, "c[0]": 2.0, "c[1].d": 3.0}
+
+    def test_within_tolerance_passes_and_drift_fails(self, tmp_path):
+        compare = _load_compare()
+        baseline_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        self._write(baseline_dir, "demo", {"makespan": 10.0, "elapsed_seconds": 4.0})
+        self._write(results_dir, "demo", {"makespan": 10.5, "elapsed_seconds": 400.0})
+        lines, failures = compare.compare_dir(baseline_dir, results_dir, rel_tol=0.1)
+        assert not failures, failures  # 5% drift within 10%; seconds skipped
+        assert "demo.json" in lines[0]
+        self._write(results_dir, "demo", {"makespan": 20.0, "elapsed_seconds": 4.0})
+        _, failures = compare.compare_dir(baseline_dir, results_dir, rel_tol=0.1)
+        assert failures and "makespan" in failures[0]
+
+    def test_missing_result_and_missing_metric_fail(self, tmp_path):
+        compare = _load_compare()
+        baseline_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        self._write(baseline_dir, "demo", {"makespan": 10.0})
+        _, failures = compare.compare_dir(baseline_dir, results_dir)
+        assert failures and "no result produced" in failures[0]
+        self._write(results_dir, "demo", {"other": 1.0})
+        _, failures = compare.compare_dir(baseline_dir, results_dir)
+        assert failures and "missing from results" in failures[0]
+
+    def test_exact_tolerance_overrides(self, tmp_path):
+        compare = _load_compare()
+        baseline_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        self._write(baseline_dir, "demo", {"num_examples": 17})
+        self._write(results_dir, "demo", {"num_examples": 18})
+        _, failures = compare.compare_dir(baseline_dir, results_dir)
+        assert failures, "example counts must match exactly"
+
+    def test_committed_baselines_cover_the_smoke_subset(self):
+        from pathlib import Path
+
+        baselines = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        names = {path.name for path in baselines.glob("*.json")}
+        assert {"table3_simulator_model.json", "cluster_sim_pretrain.json"} <= names
 
 
 class TestRunAllFilters:

@@ -394,21 +394,49 @@ class TestClusterEnv:
         with pytest.raises(SchedulingError):
             FIFOScheduler().select_action(env, env.snapshot())
 
-    def test_query_cluster_mode_rejected(self, hetero_cluster):
+    def test_query_cluster_mode_drains_whole_fleet(self, hetero_cluster):
+        """Gain clustering now works on fleets: (cluster, instance, config) actions."""
+        from repro.core import cluster_queries
+
         workload = make_workload("tpch", scale_factor=1.0, seed=0)
         batch = workload.batch_query_set()
         config = BQSchedConfig.small(seed=0)
+        config.scheduler.num_connections = 2
         space = ConfigurationSpace(config.scheduler)
         knowledge = ExternalKnowledge.from_probes(hetero_cluster, batch, space)
-        with pytest.raises(SchedulingError):
-            ClusterSchedulingEnv(
-                batch=batch,
-                backend=hetero_cluster,
-                scheduler_config=config.scheduler,
-                config_space=space,
-                knowledge=knowledge,
-                clusters=object(),
-            )
+        clusters = cluster_queries(batch, np.zeros((len(batch), len(batch))), 5, knowledge=knowledge)
+        env = ClusterSchedulingEnv(
+            batch=batch,
+            backend=hetero_cluster,
+            scheduler_config=config.scheduler,
+            config_space=space,
+            knowledge=knowledge,
+            clusters=clusters,
+        )
+        R = env.num_configs
+        assert env.cluster_mode
+        assert env.action_dim == clusters.num_clusters * 3 * R
+        env.reset(round_id=0)
+        rng = np.random.default_rng(0)
+        steps = 0
+        while True:
+            mask = env.action_mask()
+            assert mask.any()
+            step = env.step(int(rng.choice(np.flatnonzero(mask))))
+            steps += 1
+            if step.done:
+                break
+        assert steps == clusters.num_clusters
+        result = env.result()
+        assert len(result.round_log) == len(batch)
+        # the drain spread members across the fleet, not one instance
+        placements = {record.instance for record in result.round_log.records}
+        assert len(placements) > 1
+        # placement baselines pick individual queries and must refuse the
+        # cluster-slot action space instead of mis-encoding query ids
+        env.reset(round_id=1)
+        with pytest.raises(SchedulingError, match="gain-clustered"):
+            RoundRobinPlacementScheduler().select_action(env, env.snapshot())
 
     def test_non_cluster_backend_rejected(self):
         workload = make_workload("tpch", scale_factor=1.0, seed=0)

@@ -20,6 +20,7 @@ from repro.core.simulator import LearnedSimulator, SimulatedSession
 from repro.dbms import Cluster, ClusterSession, ConfigurationSpace, RunningParameters
 from repro.dbms.engine import ExecutionSession
 from repro.encoder import PlanEmbeddingCache, QueryFormer
+from repro.perf import PerformanceModel, SimulatedCluster, SimulatedClusterSession
 from repro.plans import PlanFeaturizer
 from repro.runtime import ExecutionRuntime, RuntimeTenant, TenantSession
 
@@ -43,7 +44,15 @@ def parts():
     queryformer = QueryFormer(PlanFeaturizer(workload.catalog), config.encoder, rng)
     embeddings = PlanEmbeddingCache(queryformer).embeddings_for(batch)
     simulator = LearnedSimulator(batch, embeddings, knowledge, space, config.simulator, seed=0)
-    return batch, engine, simulator, space
+    sim_cluster = SimulatedCluster(
+        PerformanceModel(
+            batch=batch, plan_embeddings=embeddings, knowledge=knowledge,
+            config_space=space, config=config.simulator, seed=0,
+            instance_speeds=(1.0, 1.0),
+        ),
+        [3, 3],
+    )
+    return batch, engine, simulator, space, sim_cluster
 
 
 def _check_new_session_signature(backend_cls) -> None:
@@ -67,25 +76,25 @@ def _check_new_session_signature(backend_cls) -> None:
 
 class TestBackendConformance:
     def test_signatures(self):
-        for backend_cls in (DatabaseEngine, LearnedSimulator, RuntimeTenant, Cluster):
+        for backend_cls in (DatabaseEngine, LearnedSimulator, RuntimeTenant, Cluster, SimulatedCluster):
             _check_new_session_signature(backend_cls)
 
     def test_engine_satisfies_protocol(self, parts):
-        batch, engine, _, _ = parts
+        batch, engine, _, _, _ = parts
         assert isinstance(engine, SessionBackend)
         session = engine.new_session(batch, num_connections=4, strategy="probe", round_id=0)
         assert isinstance(session, ExecutionSession)
         assert isinstance(session, SchedulingSession)
 
     def test_simulator_satisfies_protocol(self, parts):
-        batch, _, simulator, _ = parts
+        batch, _, simulator, _, _ = parts
         assert isinstance(simulator, SessionBackend)
         session = simulator.new_session(batch, num_connections=4, strategy="probe", round_id=0)
         assert isinstance(session, SimulatedSession)
         assert isinstance(session, SchedulingSession)
 
     def test_runtime_tenant_satisfies_protocol(self, parts):
-        batch, engine, _, _ = parts
+        batch, engine, _, _, _ = parts
         tenant = ExecutionRuntime(engine).register("t", batch)
         assert isinstance(tenant, SessionBackend)
         session = tenant.new_session(batch, num_connections=4, strategy="probe", round_id=0)
@@ -93,11 +102,18 @@ class TestBackendConformance:
         assert isinstance(session, SchedulingSession)
 
     def test_cluster_satisfies_protocol(self, parts):
-        batch, _, _, _ = parts
+        batch, _, _, _, _ = parts
         cluster = Cluster.from_names(["x", "y"], seed=0)
         assert isinstance(cluster, SessionBackend)
         session = cluster.new_session(batch, num_connections=2, strategy="probe", round_id=0)
         assert isinstance(session, ClusterSession)
+        assert isinstance(session, SchedulingSession)
+
+    def test_simulated_cluster_satisfies_protocol(self, parts):
+        batch, _, _, _, sim_cluster = parts
+        assert isinstance(sim_cluster, SessionBackend)
+        session = sim_cluster.new_session(batch, num_connections=2, strategy="probe", round_id=0)
+        assert isinstance(session, SimulatedClusterSession)
         assert isinstance(session, SchedulingSession)
 
 
@@ -105,9 +121,9 @@ class TestSessionBehaviouralParity:
     """The protocol is behavioural, not just structural: every implementation
     must run one round the same way from the environment's point of view."""
 
-    @pytest.mark.parametrize("kind", ["engine", "simulator", "tenant", "cluster"])
+    @pytest.mark.parametrize("kind", ["engine", "simulator", "tenant", "cluster", "simulated-cluster"])
     def test_round_trip(self, parts, kind):
-        batch, engine, simulator, space = parts
+        batch, engine, simulator, space, sim_cluster = parts
         if kind == "engine":
             session = engine.new_session(batch, num_connections=3, round_id=5)
         elif kind == "simulator":
@@ -116,6 +132,8 @@ class TestSessionBehaviouralParity:
             session = Cluster.from_names(["x", "y"], seed=0).new_session(
                 batch, num_connections=3, round_id=5
             )
+        elif kind == "simulated-cluster":
+            session = sim_cluster.new_session(batch, num_connections=3, round_id=5)
         else:
             session = ExecutionRuntime(engine).register("t", batch).new_session(
                 batch, num_connections=3, round_id=5
