@@ -88,6 +88,10 @@ def is_skipped(key: str) -> bool:
 def within(baseline: float, measured: float, rel_tol: float) -> bool:
     if math.isclose(baseline, measured, rel_tol=rel_tol, abs_tol=1e-9):
         return True
+    if rel_tol <= 0:
+        # Zero-tolerance overrides (exact metrics like ``*num_examples``)
+        # mean exactly that: no absolute escape hatch may soften them.
+        return False
     # Small absolute scales (sub-second metrics) get an absolute escape
     # hatch so a 0.01 -> 0.02 MSE wobble does not fail a 35% gate.
     return abs(baseline - measured) <= max(0.05, rel_tol * max(abs(baseline), abs(measured)))

@@ -22,7 +22,15 @@ Quickstart::
 """
 
 from .version import __version__
-from .config import BQSchedConfig, EncoderConfig, PPOConfig, SchedulerConfig, ServiceConfig, SimulatorConfig
+from .config import (
+    BQSchedConfig,
+    EncoderConfig,
+    PPOConfig,
+    RetryPolicy,
+    SchedulerConfig,
+    ServiceConfig,
+    SimulatorConfig,
+)
 from .exceptions import (
     BQSchedError,
     ConfigurationError,
@@ -42,7 +50,15 @@ from .workloads import (
     make_arrival_process,
     make_workload,
 )
-from .dbms import Cluster, DatabaseEngine, DBMSProfile, ExecutionLog, RunningParameters
+from .dbms import (
+    Cluster,
+    DatabaseEngine,
+    DBMSProfile,
+    ExecutionLog,
+    FailureProfile,
+    OutageWindow,
+    RunningParameters,
+)
 from .runtime import ExecutionRuntime, RuntimeTenant, ServiceReport, TenantSession
 from .seeding import SeedSpawner
 from .core import (
@@ -64,6 +80,7 @@ __all__ = [
     "BQSchedConfig",
     "EncoderConfig",
     "PPOConfig",
+    "RetryPolicy",
     "SchedulerConfig",
     "ServiceConfig",
     "SimulatorConfig",
@@ -90,6 +107,8 @@ __all__ = [
     "DatabaseEngine",
     "DBMSProfile",
     "ExecutionLog",
+    "FailureProfile",
+    "OutageWindow",
     "RunningParameters",
     "SeedSpawner",
     "BQSched",

@@ -23,6 +23,7 @@ __all__ = [
     "SimulatorConfig",
     "ClusteringConfig",
     "MaskingConfig",
+    "RetryPolicy",
     "ServiceConfig",
     "BQSchedConfig",
 ]
@@ -195,6 +196,11 @@ class SchedulerConfig:
     memory_options: tuple[int, ...] = (64, 256)
     reward_scale: float = 1.0
     step_penalty: float = 0.0
+    #: Extra negative reward per failed/killed attempt observed during a
+    #: step: wasted work the makespan alone under-penalises (a killed attempt
+    #: freed its connection, but the time it burned helped nobody).  0 keeps
+    #: rewards bit-identical to the fault-free tree.
+    failure_penalty: float = 0.0
     evaluation_rounds: int = 5
 
     def __post_init__(self) -> None:
@@ -203,12 +209,48 @@ class SchedulerConfig:
         _require(len(self.memory_options) >= 1, "memory_options must not be empty")
         _require(all(w >= 1 for w in self.worker_options), "worker counts must be >= 1")
         _require(all(m > 0 for m in self.memory_options), "memory options must be positive")
+        _require(self.failure_penalty >= 0, "failure_penalty must be >= 0")
         _require(self.evaluation_rounds >= 1, "evaluation_rounds must be >= 1")
 
     @property
     def num_configurations(self) -> int:
         """Number of running-parameter configurations per query."""
         return len(self.worker_options) * len(self.memory_options)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the event-driven runtime reacts to failed query attempts.
+
+    A query attempt can die three ways: the engine errors out, the runtime's
+    straggler ``timeout`` kills it, or its instance goes down mid-flight.
+    Errors and timeouts consume one of ``max_attempts`` submissions and are
+    retried after an exponential backoff (``backoff * backoff_factor**(k-1)``
+    seconds after the ``k``-th failure); once the budget is exhausted the
+    query is marked terminally failed so the round can still drain.  Outage
+    kills are requeued immediately and never consume an attempt — the query
+    did nothing wrong, its instance did.
+
+    ``timeout`` (seconds per attempt, ``None`` disables) is the
+    kill-and-requeue defence against stragglers/hangs: a fresh attempt on a
+    healthy connection is usually cheaper than waiting out a hung one.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.5
+    backoff_factor: float = 2.0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.max_attempts >= 1, "max_attempts must be >= 1")
+        _require(self.backoff >= 0, "backoff must be >= 0")
+        _require(self.backoff_factor >= 1, "backoff_factor must be >= 1")
+        _require(self.timeout is None or self.timeout > 0, "timeout must be positive (or None)")
+
+    def delay_for(self, failed_attempt: int) -> float:
+        """Backoff delay after the ``failed_attempt``-th failed submission."""
+        _require(failed_attempt >= 1, "failed_attempt must be >= 1")
+        return self.backoff * self.backoff_factor ** (failed_attempt - 1)
 
 
 @dataclass

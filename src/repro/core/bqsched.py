@@ -37,8 +37,8 @@ from dataclasses import replace
 
 import numpy as np
 
-from ..config import BQSchedConfig
-from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, INSTANCE_FEATURE_DIM
+from ..config import BQSchedConfig, RetryPolicy
+from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, FailureProfile, INSTANCE_FEATURE_DIM
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
 from ..perf import PerformanceModel, SimulatedCluster
@@ -434,6 +434,8 @@ class RLSchedulerBase(BaseScheduler):
         arrivals: "ArrivalProcess | str | None" = None,
         num_connections: int | None = None,
         round_id: int | None = None,
+        faults: "FailureProfile | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> ServiceReport:
         """Run the trained policy as a continuous scheduler over a shared round.
 
@@ -447,6 +449,14 @@ class RLSchedulerBase(BaseScheduler):
         every completion or arrival event, every tenant that can decide
         submits its next query (policy runs greedily) before the clock moves
         again.  Returns per-tenant makespans and latency percentiles.
+
+        ``faults`` injects a :class:`~repro.dbms.FailureProfile` into the
+        served round (on top of any profile already attached to the engine),
+        and ``retry`` turns on the runtime's failure handling — exponential
+        backoff re-arrivals, straggler timeout kills, terminal failure once
+        the attempt budget is spent.  Instance outages are always requeued,
+        retry policy or not.  The report then carries the failure ledger
+        (``num_failed`` / ``num_retries`` / ``num_timeouts`` / goodput).
         """
         if self.clusters is not None:
             raise SchedulingError(
@@ -472,7 +482,7 @@ class RLSchedulerBase(BaseScheduler):
             if num_connections is None
             else replace(self.config.scheduler, num_connections=num_connections)
         )
-        runtime = ExecutionRuntime(self.engine)
+        runtime = ExecutionRuntime(self.engine, retry=retry, faults=faults)
         env_cls = ClusterSchedulingEnv if self._cluster_backend(self.engine) else SchedulingEnv
         envs = []
         for index in range(num_tenants):

@@ -147,7 +147,9 @@ class ClusterSchedulingEnv(SchedulingEnv):
         A triple is valid when the slot is selectable (a pending-and-arrived
         query, or a query cluster with members remaining), the configuration
         is allowed by the adaptive mask, and the instance has an idle
-        connection (saturated instances mask out whole columns).  Whenever
+        connection (saturated instances mask out whole columns — and so do
+        *downed* instances: an instance inside an outage window reports no
+        idle connections, so the policy can never place work on it).  Whenever
         :meth:`can_decide` is true at least one entry is set: the adaptive
         mask guarantees every query at least one configuration, and
         ``can_decide`` requires a selectable slot plus an idle instance — so
@@ -271,7 +273,9 @@ class ClusterSchedulingEnv(SchedulingEnv):
             if remaining:
                 self._session.advance()
 
-    def _running_info(self, query_id: int, state: "RunningQueryState", now: float) -> QueryRuntimeInfo:
+    def _running_info(
+        self, query_id: int, state: "RunningQueryState", now: float, attempts: int = 0
+    ) -> QueryRuntimeInfo:
         """Joint (instance, configuration) one-hot index for running queries."""
         config_index = self.config_space.index_of(state.parameters)
         instance = max(0, self._session.instance_of(query_id))
@@ -281,6 +285,7 @@ class ClusterSchedulingEnv(SchedulingEnv):
             config_index=instance * self.num_configs + config_index,
             elapsed=now - state.submit_time,
             expected_time=self.knowledge.expected_time(query_id, config_index),
+            attempts=attempts,
         )
 
     def _instance_context(self) -> tuple[tuple[float, ...], ...]:

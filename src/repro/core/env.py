@@ -181,6 +181,7 @@ class SchedulingEnv:
             self._tenant = ExecutionRuntime(backend).register("env", self.batch, arrivals=arrivals)
         self._session = None
         self._last_time = 0.0
+        self._last_failures = 0
         self._cluster_remaining: list[list[int]] = []
         self._round_counter = 0
         self._static_infos: dict[tuple[int, QueryStatus], QueryRuntimeInfo] = {}
@@ -273,6 +274,7 @@ class SchedulingEnv:
             round_id=round_id,
         )
         self._last_time = 0.0
+        self._last_failures = 0
         self._static_infos.clear()
         if self.cluster_mode:
             self._cluster_remaining = [list(self.clusters.intra_order(c)) for c in range(self.clusters.num_clusters)]
@@ -317,12 +319,26 @@ class SchedulingEnv:
         return not self._session.is_done and not self.can_decide()
 
     def finish_step(self, time_before: float) -> StepResult:
-        """Build the :class:`StepResult` once the advance loop has converged."""
+        """Build the :class:`StepResult` once the advance loop has converged.
+
+        Failed/killed attempts observed since the previous step charge
+        ``SchedulerConfig.failure_penalty`` each on top of the elapsed-time
+        reward: the makespan alone under-prices wasted work, because a killed
+        attempt freed its connection while the time it burned helped nobody.
+        """
         elapsed = self._session.current_time - time_before
         reward = -elapsed * self.scheduler_config.reward_scale - self.scheduler_config.step_penalty
+        failures = getattr(self._session, "num_failed_attempts", 0)
+        if failures:
+            new_failures = failures - self._last_failures
+            self._last_failures = failures
+            if new_failures > 0 and self.scheduler_config.failure_penalty:
+                reward -= new_failures * self.scheduler_config.failure_penalty
         done = self._session.is_done
         snapshot = self.snapshot()
         info = {"time": self._session.current_time, "makespan": self._session.makespan if done else None}
+        if failures:
+            info["failed_attempts"] = failures
         return StepResult(snapshot=snapshot, reward=reward, done=done, info=info)
 
     def result(self) -> SchedulingResult:
@@ -395,21 +411,55 @@ class SchedulingEnv:
         as pending-but-unavailable: the adaptive mask already excludes them
         from the action space, and ``available``/``time_to_available`` let an
         arrival-aware featurizer expose the distinction.
+
+        Fault-tolerant serving adds two read-outs that stay empty/zero on
+        fault-free rounds (keeping those snapshots bit-compatible): per-query
+        failed-attempt counts (terminally failed queries report as finished —
+        they are as unselectable as completed ones, and their attempt count
+        tells them apart), and per-instance health while any instance is
+        down.
         """
         self._require_session()
         session = self._session
         now = session.current_time
         running = {state.query.query_id: state for state in session.running_states()}
         finished = session.finished
+        failed = getattr(session, "failed", None)
         unarrived = frozenset(session.unarrived_ids())
+        counts_fn = getattr(session, "failure_counts", None)
+        counts: dict[int, int] = counts_fn() if counts_fn is not None else {}
+        # A query awaiting its scheduled retry re-arrival is reported like a
+        # streaming not-yet-arrived query: pending but unavailable.
+        retrying_fn = getattr(session, "retrying_ids", None)
+        retrying = frozenset(retrying_fn()) if retrying_fn is not None else frozenset()
         infos = []
         for query in self.batch:
             query_id = query.query_id
+            attempts = counts.get(query_id, 0) if counts else 0
             if query_id in running:
-                infos.append(self._running_info(query_id, running[query_id], now))
-            elif query_id in finished:
-                infos.append(self._static_info(query_id, QueryStatus.FINISHED))
-            elif unarrived and query_id in unarrived:
+                infos.append(self._running_info(query_id, running[query_id], now, attempts=attempts))
+            elif (query_id in finished) or (failed and query_id in failed):
+                if attempts:
+                    infos.append(
+                        QueryRuntimeInfo(
+                            query_id=query_id,
+                            status=QueryStatus.FINISHED,
+                            config_index=0,
+                            elapsed=0.0,
+                            expected_time=self.knowledge.average_time(query_id),
+                            attempts=attempts,
+                        )
+                    )
+                else:
+                    infos.append(self._static_info(query_id, QueryStatus.FINISHED))
+            elif (unarrived and query_id in unarrived) or (retrying and query_id in retrying):
+                # An unarrived query becomes available at its arrival time; a
+                # query backing off after a failed attempt becomes available
+                # at its scheduled retry re-arrival.
+                if retrying and query_id in retrying:
+                    available_at = self._session.retry_time(query_id)
+                else:
+                    available_at = self._session.arrival_time(query_id)
                 infos.append(
                     QueryRuntimeInfo(
                         query_id=query_id,
@@ -418,14 +468,33 @@ class SchedulingEnv:
                         elapsed=0.0,
                         expected_time=self.knowledge.average_time(query_id),
                         available=False,
-                        time_to_available=max(0.0, self._session.arrival_time(query_id) - now),
+                        time_to_available=max(0.0, available_at - now),
+                        attempts=attempts,
+                    )
+                )
+            elif attempts:
+                infos.append(
+                    QueryRuntimeInfo(
+                        query_id=query_id,
+                        status=QueryStatus.PENDING,
+                        config_index=-1,
+                        elapsed=0.0,
+                        expected_time=self.knowledge.average_time(query_id),
+                        attempts=attempts,
                     )
                 )
             else:
                 infos.append(self._static_info(query_id, QueryStatus.PENDING))
-        return SchedulingSnapshot(time=now, infos=tuple(infos), instance_context=self._instance_context())
+        return SchedulingSnapshot(
+            time=now,
+            infos=tuple(infos),
+            instance_context=self._instance_context(),
+            instance_health=self._instance_health(),
+        )
 
-    def _running_info(self, query_id: int, state: "RunningQueryState", now: float) -> QueryRuntimeInfo:
+    def _running_info(
+        self, query_id: int, state: "RunningQueryState", now: float, attempts: int = 0
+    ) -> QueryRuntimeInfo:
         """Observable info of one running query (placement-aware in subclasses)."""
         config_index = self.config_space.index_of(state.parameters)
         return QueryRuntimeInfo(
@@ -434,11 +503,27 @@ class SchedulingEnv:
             config_index=config_index,
             elapsed=now - state.submit_time,
             expected_time=self.knowledge.expected_time(query_id, config_index),
+            attempts=attempts,
         )
 
     def _instance_context(self) -> tuple[tuple[float, ...], ...]:
         """Per-instance context rows for the snapshot (empty off-cluster)."""
         return ()
+
+    def _instance_health(self) -> tuple[bool, ...]:
+        """Per-instance health for the snapshot; empty means everything is up.
+
+        The empty-when-healthy convention keeps fault-free snapshots
+        bit-compatible with the pre-fault tree (and with trained policies
+        that never saw a health channel).
+        """
+        health_fn = getattr(self._session, "instance_health", None)
+        if health_fn is None:
+            return ()
+        health = health_fn()
+        if all(health):
+            return ()
+        return tuple(bool(up) for up in health)
 
     def _static_info(self, query_id: int, status: QueryStatus) -> QueryRuntimeInfo:
         """Cached pending/finished info (immutable within a round).

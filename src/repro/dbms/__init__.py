@@ -3,6 +3,14 @@
 from .buffer import BufferPool
 from .cluster import Cluster, ClusterSession, INSTANCE_FEATURE_DIM
 from .engine import CompletionEvent, DatabaseEngine, ExecutionSession, RunningQueryState
+from .faults import (
+    FAILURE_ERROR,
+    FAILURE_OUTAGE,
+    FAILURE_TIMEOUT,
+    FailureProfile,
+    OutageWindow,
+    QueryFate,
+)
 from .logs import ConcurrencySnapshot, ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import ConfigurationSpace, RunningParameters
 from .profiles import DBMSProfile
@@ -16,6 +24,12 @@ __all__ = [
     "DatabaseEngine",
     "ExecutionSession",
     "RunningQueryState",
+    "FAILURE_ERROR",
+    "FAILURE_OUTAGE",
+    "FAILURE_TIMEOUT",
+    "FailureProfile",
+    "OutageWindow",
+    "QueryFate",
     "ConcurrencySnapshot",
     "ExecutionLog",
     "QueryExecutionRecord",

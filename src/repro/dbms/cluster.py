@@ -40,6 +40,7 @@ from ..exceptions import ConfigurationError, SchedulingError, SimulationError
 from ..seeding import SeedSpawner
 from ..workloads import BatchQuerySet, Query
 from .engine import CompletionEvent, DatabaseEngine, ExecutionSession, RunningQueryState
+from .faults import FailureProfile
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import RunningParameters
 from .profiles import DBMSProfile
@@ -106,12 +107,15 @@ class ClusterSession:
         self.finished: dict[int, float] = {}
         self.log = RoundLog(round_id=round_id, strategy=strategy)
         self._placement: dict[int, int] = {}
+        #: Terminally failed queries (retries exhausted / never retried).
+        self.failed: dict[int, float] = {}
         # Per-instance buffers of completions that tied with the winning
         # instant, each captured with its execution record at materialisation
         # time (two ties on one instance would otherwise both resolve to that
         # instance's *last* log record); drained in instance order before the
-        # clock moves again.
-        self._instance_events: list[list[tuple[CompletionEvent, QueryExecutionRecord]]] = [
+        # clock moves again.  Failed completions carry no record (nothing was
+        # logged), hence the ``QueryExecutionRecord | None``.
+        self._instance_events: list[list[tuple[CompletionEvent, QueryExecutionRecord | None]]] = [
             [] for _ in self.sessions
         ]
         self._connection_offsets: list[int] = []
@@ -133,8 +137,44 @@ class ClusterSession:
         return self._placement.get(query_id, -1)
 
     def idle_instances(self) -> list[int]:
-        """Instances with at least one idle connection."""
+        """Instances with at least one idle connection (downed instances excluded)."""
         return [index for index, session in enumerate(self.sessions) if session.has_idle_connection]
+
+    def instance_health(self) -> list[bool]:
+        """Per-instance up/down health (``False`` while inside an outage window)."""
+        return [not session.is_down for session in self.sessions]
+
+    def next_fault_wakeup(self) -> float | None:
+        """Earliest recovery instant among currently-downed instances."""
+        wakeups = [
+            wakeup
+            for session in self.sessions
+            if (wakeup := session.next_fault_wakeup()) is not None
+        ]
+        return min(wakeups) if wakeups else None
+
+    def cancel(self, query_id: int) -> int:
+        """Kill a running query on whatever instance it was placed on.
+
+        Returns the freed *global* connection id (instance offsets applied),
+        matching the ids completion and failure events report.
+        """
+        instance = self._placement.get(query_id, -1)
+        if instance < 0 or query_id not in self.sessions[instance].running:
+            raise SchedulingError(f"query {query_id} is not running and cannot be cancelled")
+        connection = self.sessions[instance].cancel(query_id)
+        self.pending.append(query_id)
+        return self._connection_offsets[instance] + connection
+
+    def mark_failed(self, query_id: int) -> None:
+        """Terminally fail a pending/deferred query (retries exhausted)."""
+        if query_id in self.pending:
+            self.pending.remove(query_id)
+        elif query_id in self.deferred:
+            self.deferred.remove(query_id)
+        else:
+            raise SchedulingError(f"query {query_id} is not pending/deferred and cannot be failed")
+        self.failed[query_id] = self.current_time
 
     def instance_num_running(self) -> list[int]:
         """Fleet-wide running-query count per instance (all tenants).
@@ -192,6 +232,8 @@ class ClusterSession:
             merged.update(session.running)
         for events in self._instance_events:
             for event, record in events:
+                if record is None:  # failed attempt: no record, nothing to reconstruct
+                    continue
                 merged[event.query_id] = RunningQueryState(
                     query=self.batch[event.query_id],
                     parameters=record.parameters,
@@ -309,7 +351,7 @@ class ClusterSession:
             return None
         event = self.sessions[winner].advance()
         assert event is not None
-        winner_record = self.sessions[winner].log.records[-1]
+        winner_record = None if event.failed else self.sessions[winner].log.records[-1]
         for index, session in enumerate(self.sessions):
             if index == winner:
                 continue
@@ -319,7 +361,8 @@ class ClusterSession:
                 tied = session.advance(limit=winner_time)
                 if tied is None:
                     break
-                self._instance_events[index].append((tied, session.log.records[-1]))
+                tied_record = None if tied.failed else session.log.records[-1]
+                self._instance_events[index].append((tied, tied_record))
         self.current_time = winner_time
         return self._record(event, winner_record, winner)
 
@@ -330,10 +373,26 @@ class ClusterSession:
                 return self._record(tied, record, index)
         return None
 
-    def _record(self, event: CompletionEvent, local: QueryExecutionRecord, instance: int) -> CompletionEvent:
+    def _record(
+        self, event: CompletionEvent, local: QueryExecutionRecord | None, instance: int
+    ) -> CompletionEvent:
         """Globalise one instance completion into the cluster log and state."""
-        self.finished[event.query_id] = event.finish_time
         connection = self._connection_offsets[instance] + event.connection
+        if event.failed:
+            # Nothing was logged or finished: the query returns to the
+            # cluster-level pending set (the instance session already holds
+            # it pending) and the failure propagates with globalised ids.
+            self.pending.append(event.query_id)
+            return CompletionEvent(
+                query_id=event.query_id,
+                finish_time=event.finish_time,
+                connection=connection,
+                instance=instance,
+                failed=True,
+                failure=event.failure,
+            )
+        assert local is not None
+        self.finished[event.query_id] = event.finish_time
         self.log.add(
             QueryExecutionRecord(
                 query_id=local.query_id,
@@ -364,11 +423,17 @@ class Cluster:
     either interchangeably.
     """
 
-    def __init__(self, engines: Sequence[DatabaseEngine], name: str = "cluster") -> None:
+    def __init__(
+        self,
+        engines: Sequence[DatabaseEngine],
+        name: str = "cluster",
+        faults: FailureProfile | None = None,
+    ) -> None:
         if not engines:
             raise ConfigurationError("a cluster needs at least one engine instance")
         self.engines = list(engines)
         self.name = name
+        self.faults = faults
         self._round_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -380,6 +445,7 @@ class Cluster:
         profiles: Sequence[DBMSProfile],
         seed: int = 0,
         name: str = "cluster",
+        faults: FailureProfile | None = None,
     ) -> "Cluster":
         """Build a (possibly mixed-profile) fleet from per-instance profiles.
 
@@ -392,7 +458,7 @@ class Cluster:
             DatabaseEngine(profile, seed=spawner.integer_seed("instance", index))
             for index, profile in enumerate(profiles)
         ]
-        return cls(engines, name=name)
+        return cls(engines, name=name, faults=faults)
 
     @classmethod
     def homogeneous(
@@ -401,16 +467,25 @@ class Cluster:
         num_instances: int,
         seed: int = 0,
         name: str = "cluster",
+        faults: FailureProfile | None = None,
     ) -> "Cluster":
         """A fleet of ``num_instances`` identical-profile engines."""
         if num_instances < 1:
             raise ConfigurationError("num_instances must be >= 1")
-        return cls.from_profiles([profile] * num_instances, seed=seed, name=name)
+        return cls.from_profiles([profile] * num_instances, seed=seed, name=name, faults=faults)
 
     @classmethod
-    def from_names(cls, names: Sequence[str], seed: int = 0, name: str = "cluster") -> "Cluster":
+    def from_names(
+        cls,
+        names: Sequence[str],
+        seed: int = 0,
+        name: str = "cluster",
+        faults: FailureProfile | None = None,
+    ) -> "Cluster":
         """Build a fleet from profile short-names (``("x", "x", "z")``)."""
-        return cls.from_profiles([DBMSProfile.by_name(n) for n in names], seed=seed, name=name)
+        return cls.from_profiles(
+            [DBMSProfile.by_name(n) for n in names], seed=seed, name=name, faults=faults
+        )
 
     @classmethod
     def from_service_config(cls, service: "ServiceConfig", seed: int = 0) -> "Cluster":
@@ -451,6 +526,7 @@ class Cluster:
         num_connections: int | None = None,
         strategy: str = "",
         round_id: int | None = None,
+        faults: FailureProfile | None = None,
     ) -> ClusterSession:
         """Open one unified round: one per-instance engine session each.
 
@@ -459,19 +535,25 @@ class Cluster:
         instance profile's default.  Every instance session is built over
         the full batch so any query can be placed anywhere, and all share
         the same ``round_id`` so per-instance noise streams are aligned with
-        the single-engine case.
+        the single-engine case.  ``faults`` (or the cluster-level profile)
+        threads into every instance session; each instance draws fault fates
+        from its own engine's dedicated stream and honours only its own
+        outage windows.
         """
         if round_id is None:
             round_id = self._round_counter
         self._round_counter = max(self._round_counter, round_id) + 1
+        session_faults = faults if faults is not None else self.faults
         sessions = [
             engine.new_session(
                 batch,
                 num_connections=num_connections,
                 strategy=strategy,
                 round_id=round_id,
+                faults=session_faults,
+                fault_instance=index,
             )
-            for engine in self.engines
+            for index, engine in enumerate(self.engines)
         ]
         return ClusterSession(self, batch, sessions, round_id=round_id, strategy=strategy)
 
@@ -519,7 +601,15 @@ class Cluster:
                 params = parameters if isinstance(parameters, RunningParameters) else parameters[query_id]
                 session.submit(query_id, params, instance=instance)
             if session.num_running:
-                session.advance()
+                event = session.advance()
+                if event is not None and event.failed:
+                    # Fixed-order history collection never retries.
+                    session.mark_failed(event.query_id)
+            else:
+                wakeup = session.next_fault_wakeup()
+                if wakeup is None:
+                    raise SchedulingError("execute_order stalled: nothing running and no recovery scheduled")
+                session.advance(limit=wakeup)
         return session.log
 
     def collect_logs(

@@ -32,6 +32,7 @@ from ..exceptions import SchedulingError, SimulationError
 from ..seeding import SeedSpawner
 from ..workloads import BatchQuerySet, Query
 from .buffer import BufferPool
+from .faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile, QueryFate
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import RunningParameters
 from .profiles import DBMSProfile
@@ -67,12 +68,21 @@ class CompletionEvent:
     single-engine sessions always report instance 0, a
     :class:`~repro.dbms.cluster.ClusterSession` reports the placement chosen
     at submit time.
+
+    ``failed`` marks an attempt that did *not* complete — the query errored
+    out (``failure == "error"``) or its instance went down mid-flight
+    (``failure == "outage"``).  Failed attempts are never logged or counted
+    as finished; the query returns to the pending set and the caller (the
+    runtime's retry machinery, or a history-collection loop) decides whether
+    to resubmit or mark it terminally failed.
     """
 
     query_id: int
     finish_time: float
     connection: int
     instance: int = 0
+    failed: bool = False
+    failure: str = ""
 
 
 class ExecutionSession:
@@ -104,9 +114,14 @@ class ExecutionSession:
         round_id: int = 0,
         strategy: str = "",
         warm_buffer: BufferPool | None = None,
+        faults: FailureProfile | None = None,
+        fault_rng: np.random.Generator | None = None,
+        instance: int = 0,
     ) -> None:
         if num_connections < 1:
             raise SimulationError("num_connections must be >= 1")
+        if faults is not None and faults.has_random_faults and fault_rng is None:
+            raise SimulationError("a FailureProfile with random faults needs a fault_rng stream")
         self.profile = profile
         self.batch = batch
         self.num_connections = num_connections
@@ -117,9 +132,20 @@ class ExecutionSession:
         self.deferred: list[int] = []
         self.running: dict[int, RunningQueryState] = {}
         self.finished: dict[int, float] = {}
+        #: Terminally failed queries (retries exhausted / never retried).
+        self.failed: dict[int, float] = {}
         self._idle_connections: list[int] = list(range(num_connections))
         self.buffer = warm_buffer if warm_buffer is not None else BufferPool(profile.buffer_pool_rows)
         self.log = RoundLog(round_id=round_id, strategy=strategy)
+        # Fault injection: fates are drawn from the dedicated fault stream at
+        # submit time; a session without a profile performs zero extra draws
+        # and stays bit-identical to the fault-free tree.
+        self._faults = faults
+        self._fault_rng = fault_rng
+        self._instance = instance
+        self._windows = faults.windows_for(instance) if faults is not None else ()
+        self._fates: dict[int, QueryFate] = {}
+        self._fault_events: list[CompletionEvent] = []
         # Per-query noise factors drawn once per round: the same query can be
         # faster or slower in different rounds regardless of the schedule.
         self._noise = {
@@ -131,11 +157,16 @@ class ExecutionSession:
     # ------------------------------------------------------------------ #
     @property
     def is_done(self) -> bool:
-        return not self.pending and not self.deferred and not self.running
+        return (
+            not self.pending
+            and not self.deferred
+            and not self.running
+            and not self._fault_events
+        )
 
     @property
     def has_idle_connection(self) -> bool:
-        return bool(self._idle_connections)
+        return bool(self._idle_connections) and not self.is_down
 
     @property
     def has_pending(self) -> bool:
@@ -143,10 +174,90 @@ class ExecutionSession:
 
     @property
     def num_running(self) -> int:
-        return len(self.running)
+        """In-flight queries, including failures buffered but not yet delivered."""
+        return len(self.running) + len(self._fault_events)
 
     def idle_connections(self) -> list[int]:
-        return list(self._idle_connections)
+        return [] if self.is_down else list(self._idle_connections)
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection API
+    # ------------------------------------------------------------------ #
+    @property
+    def is_down(self) -> bool:
+        """Whether this instance is inside an outage window right now."""
+        return self._faults is not None and self._faults.is_down(self._instance, self.current_time)
+
+    def instance_health(self) -> list[bool]:
+        """Per-instance up/down health (single-engine sessions have one entry)."""
+        return [not self.is_down]
+
+    def next_fault_wakeup(self) -> float | None:
+        """Recovery instant of the current outage, if the instance is down.
+
+        The event-driven runtime uses this as an extra clock limit so a round
+        stalled on a fleet-wide outage wakes up when capacity returns instead
+        of deadlocking.
+        """
+        if self._faults is None:
+            return None
+        return self._faults.recovery_time(self._instance, self.current_time)
+
+    def cancel(self, query_id: int) -> int:
+        """Kill a running query: free its connection, return it to pending.
+
+        The attempt's work is wasted — nothing is logged and nothing counts
+        as finished.  This is the engine half of the runtime's
+        timeout-kill-and-requeue policy for stragglers.  Returns the freed
+        connection id (globalised on cluster sessions).
+        """
+        state = self.running.pop(query_id, None)
+        if state is None:
+            raise SchedulingError(f"query {query_id} is not running and cannot be cancelled")
+        self._idle_connections.append(state.connection)
+        self._idle_connections.sort()
+        self._fates.pop(query_id, None)
+        self.pending.append(query_id)
+        return state.connection
+
+    def mark_failed(self, query_id: int) -> None:
+        """Terminally fail a pending/deferred query (retries exhausted)."""
+        if query_id in self.pending:
+            self.pending.remove(query_id)
+        elif query_id in self.deferred:
+            self.deferred.remove(query_id)
+        else:
+            raise SchedulingError(f"query {query_id} is not pending/deferred and cannot be failed")
+        self.failed[query_id] = self.current_time
+
+    def _outage_kill_instant(self, until: float) -> float | None:
+        """Earliest instant in ``(now, until]`` at which running work must die."""
+        if not self._windows or not self.running:
+            return None
+        for window in self._windows:
+            if window.covers(self.current_time):
+                return self.current_time
+            if self.current_time < window.start <= until:
+                return window.start
+        return None
+
+    def _kill_running(self, reason: str) -> None:
+        """Kill every running query at the current instant (instance outage)."""
+        for query_id in sorted(self.running):
+            state = self.running.pop(query_id)
+            self._idle_connections.append(state.connection)
+            self._fates.pop(query_id, None)
+            self.pending.append(query_id)
+            self._fault_events.append(
+                CompletionEvent(
+                    query_id=query_id,
+                    finish_time=self.current_time,
+                    connection=state.connection,
+                    failed=True,
+                    failure=reason,
+                )
+            )
+        self._idle_connections.sort()
 
     def pending_queries(self) -> list[Query]:
         return [self.batch[i] for i in self.pending]
@@ -190,11 +301,21 @@ class ExecutionSession:
         """
         if query_id not in self.pending:
             raise SchedulingError(f"query {query_id} is not pending")
+        if self.is_down:
+            raise SchedulingError(f"instance {self._instance} is down and accepts no submissions")
         if not self._idle_connections:
             raise SchedulingError("no idle connection available")
         connection = self._idle_connections.pop(0)
         query = self.batch[query_id]
         noisy_work = query.total_work * self._noise[query_id]
+        if self._faults is not None and self._faults.has_random_faults:
+            assert self._fault_rng is not None
+            fate = self._faults.draw_fate(self._fault_rng)
+            if fate.hang:
+                noisy_work *= self._faults.hang_factor
+            if fate.error:
+                noisy_work *= self._faults.error_work_fraction
+                self._fates[query_id] = fate
         self.pending.remove(query_id)
         self.running[query_id] = RunningQueryState(
             query=query,
@@ -215,6 +336,8 @@ class ExecutionSession:
         :class:`~repro.dbms.cluster.ClusterSession` pick the globally
         earliest event across per-instance clocks without perturbing them.
         """
+        if self._fault_events:
+            return self.current_time
         if not self.running:
             return None
         rates = self._progress_rates()
@@ -222,7 +345,9 @@ class ExecutionSession:
             state.remaining_work / max(rates[query_id], _EPSILON)
             for query_id, state in self.running.items()
         )
-        return self.current_time + delta
+        finish_time = self.current_time + delta
+        kill_at = self._outage_kill_instant(finish_time)
+        return kill_at if kill_at is not None else finish_time
 
     def advance(self, limit: float | None = None) -> CompletionEvent | None:
         """Advance the clock to the next query completion and return it.
@@ -233,6 +358,8 @@ class ExecutionSession:
         to stop at query arrivals).  With nothing running, a ``limit`` simply
         idles the clock forward to it.
         """
+        if self._fault_events:
+            return self._fault_events.pop(0)
         if not self.running:
             if limit is None:
                 raise SimulationError("cannot advance: no query is running")
@@ -245,6 +372,15 @@ class ExecutionSession:
         }
         finishing_id = min(time_to_finish, key=lambda query_id: time_to_finish[query_id])
         delta = time_to_finish[finishing_id]
+        kill_at = self._outage_kill_instant(self.current_time + delta)
+        if kill_at is not None and (limit is None or kill_at <= limit):
+            partial = kill_at - self.current_time
+            if partial > 0:
+                for query_id, state in self.running.items():
+                    state.remaining_work = max(0.0, state.remaining_work - rates[query_id] * partial)
+            self.current_time = kill_at
+            self._kill_running(FAILURE_OUTAGE)
+            return self._fault_events.pop(0)
         if limit is not None and self.current_time + delta > limit:
             partial = limit - self.current_time
             if partial > 0:
@@ -259,6 +395,19 @@ class ExecutionSession:
         state = self.running.pop(finishing_id)
         self._idle_connections.append(state.connection)
         self._idle_connections.sort()
+        fate = self._fates.pop(finishing_id, None)
+        if fate is not None and fate.error:
+            # The attempt errored out after consuming its (truncated) work:
+            # the connection frees, nothing is logged, and the query returns
+            # to pending for the caller's retry machinery to resubmit.
+            self.pending.append(finishing_id)
+            return CompletionEvent(
+                query_id=finishing_id,
+                finish_time=self.current_time,
+                connection=state.connection,
+                failed=True,
+                failure=FAILURE_ERROR,
+            )
         self.finished[finishing_id] = self.current_time
         for table, rows in state.query.tables.items():
             self.buffer.touch(table, rows, self.current_time)
@@ -355,12 +504,19 @@ class ExecutionSession:
 
 
 class DatabaseEngine:
-    """Factory for :class:`ExecutionSession` rounds against one DBMS profile."""
+    """Factory for :class:`ExecutionSession` rounds against one DBMS profile.
 
-    def __init__(self, profile: DBMSProfile, seed: int = 0) -> None:
+    ``faults`` attaches a :class:`~repro.dbms.faults.FailureProfile` to every
+    round the engine opens (a per-round ``faults`` argument to
+    :meth:`new_session` overrides it).  ``None`` — the default — keeps the
+    engine perfectly reliable and bit-identical to the fault-free tree.
+    """
+
+    def __init__(self, profile: DBMSProfile, seed: int = 0, faults: FailureProfile | None = None) -> None:
         self.profile = profile
         self.seed = seed
         self.seeds = SeedSpawner(seed)
+        self.faults = faults
         self._round_counter = 0
 
     def new_session(
@@ -371,12 +527,16 @@ class DatabaseEngine:
         round_id: int | None = None,
         keep_buffer_warm: bool = False,
         warm_buffer: BufferPool | None = None,
+        faults: FailureProfile | None = None,
+        fault_instance: int = 0,
     ) -> ExecutionSession:
         """Open a fresh scheduling round.
 
         Each round gets its own RNG stream derived from the engine seed and
         the round id, so the per-round execution noise is reproducible yet
-        different across rounds.
+        different across rounds.  Fault fates draw from a *separate* stream
+        (``(seed, round_id, FAULT_STREAM)``), so injecting faults never
+        perturbs the execution-noise draws.
         """
         if round_id is None:
             round_id = self._round_counter
@@ -386,6 +546,10 @@ class DatabaseEngine:
         rng = self.seeds.derive(round_id, 0x5EED)
         connections = num_connections or self.profile.default_connections
         buffer = warm_buffer if keep_buffer_warm else None
+        session_faults = faults if faults is not None else self.faults
+        fault_rng = (
+            self.seeds.derive(round_id, FAULT_STREAM) if session_faults is not None else None
+        )
         return ExecutionSession(
             profile=self.profile,
             batch=batch,
@@ -394,6 +558,9 @@ class DatabaseEngine:
             round_id=round_id,
             strategy=strategy,
             warm_buffer=buffer,
+            faults=session_faults,
+            fault_rng=fault_rng,
+            instance=fault_instance,
         )
 
     # ------------------------------------------------------------------ #
@@ -408,7 +575,13 @@ class DatabaseEngine:
         strategy: str = "fixed-order",
         round_id: int | None = None,
     ) -> RoundLog:
-        """Execute ``batch`` submitting queries in ``order`` whenever a connection frees."""
+        """Execute ``batch`` submitting queries in ``order`` whenever a connection frees.
+
+        Under an attached :class:`~repro.dbms.faults.FailureProfile` the
+        fixed-order runner never retries: a failed attempt marks the query
+        terminally failed (history collection records only what actually
+        finished), and an outage idles the loop until the instance recovers.
+        """
         if sorted(order) != sorted(q.query_id for q in batch):
             raise SchedulingError("order must be a permutation of the batch query ids")
         session = self.new_session(batch, num_connections, strategy=strategy, round_id=round_id)
@@ -418,8 +591,15 @@ class DatabaseEngine:
                 query_id = queue.pop(0)
                 params = parameters if isinstance(parameters, RunningParameters) else parameters[query_id]
                 session.submit(query_id, params)
-            if session.running:
-                session.advance()
+            if session.num_running:
+                event = session.advance()
+                if event is not None and event.failed:
+                    session.mark_failed(event.query_id)
+            else:
+                wakeup = session.next_fault_wakeup()
+                if wakeup is None:
+                    raise SchedulingError("execute_order stalled: nothing running and no recovery scheduled")
+                session.advance(limit=wakeup)
         return session.log
 
     def estimate_isolated_time(self, query: Query, parameters: RunningParameters) -> float:

@@ -44,10 +44,15 @@ class QueryRuntimeInfo:
     expected_time: float = 0.0
     available: bool = True
     time_to_available: float = 0.0
+    #: Failed attempts so far (fault-tolerant serving); 0 — the default —
+    #: keeps closed fault-free rounds bit-compatible with the paper setting.
+    attempts: int = 0
 
     def __post_init__(self) -> None:
         if self.elapsed < 0:
             raise SchedulingError(f"elapsed time must be >= 0 for query {self.query_id}")
+        if self.attempts < 0:
+            raise SchedulingError(f"attempts must be >= 0 for query {self.query_id}")
         if self.status is not QueryStatus.PENDING and self.config_index < 0:
             raise SchedulingError(
                 f"query {self.query_id} is {self.status.value} but has no configuration"
@@ -74,11 +79,17 @@ class SchedulingSnapshot:
     :data:`repro.dbms.INSTANCE_FEATURE_DIM`).  Single-engine rounds leave it
     empty, keeping the snapshot bit-compatible with the closed-batch paper
     setting.
+
+    ``instance_health`` carries per-instance up/down flags while any
+    instance is inside an outage window (fault-tolerant serving); the empty
+    default means "everything up" and keeps fault-free snapshots
+    bit-compatible.
     """
 
     time: float
     infos: tuple[QueryRuntimeInfo, ...]
     instance_context: tuple[tuple[float, ...], ...] = ()
+    instance_health: tuple[bool, ...] = ()
 
     @property
     def num_queries(self) -> int:
@@ -148,6 +159,7 @@ class RunStateFeaturizer:
         time_scale: float = 10.0,
         arrival_channel: bool = False,
         instance_context_dim: int = 0,
+        failure_channel: bool = False,
     ) -> None:
         if num_configs < 1:
             raise SchedulingError("num_configs must be >= 1")
@@ -159,10 +171,23 @@ class RunStateFeaturizer:
         self.time_scale = time_scale
         self.arrival_channel = arrival_channel
         self.instance_context_dim = instance_context_dim
+        self.failure_channel = failure_channel
 
     @property
     def feature_dim(self) -> int:
-        return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0) + self.instance_context_dim
+        return (
+            3
+            + self.num_configs
+            + 2
+            + (1 if self.arrival_channel else 0)
+            + (1 if self.failure_channel else 0)
+            + self.instance_context_dim
+        )
+
+    @property
+    def _failure_slot(self) -> int:
+        """Column of the failure channel (valid only when enabled)."""
+        return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0)
 
     def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
         vector = np.zeros(self.feature_dim, dtype=np.float64)
@@ -178,6 +203,8 @@ class RunStateFeaturizer:
         vector[3 + self.num_configs + 1] = np.tanh(info.expected_time / self.time_scale)
         if self.arrival_channel:
             vector[3 + self.num_configs + 2] = np.tanh(info.time_to_available / self.time_scale)
+        if self.failure_channel:
+            vector[self._failure_slot] = np.tanh(info.attempts / 3.0)
         # Instance-context slots stay zero here: the per-info featurizer has
         # no snapshot to read them from (featurize_snapshot fills them in).
         return vector
@@ -220,6 +247,9 @@ class RunStateFeaturizer:
         if self.arrival_channel:
             to_available = np.fromiter((info.time_to_available for info in infos), dtype=np.float64, count=n)
             features[:, 3 + self.num_configs + 2] = np.tanh(to_available / self.time_scale)
+        if self.failure_channel:
+            attempts = np.fromiter((info.attempts for info in infos), dtype=np.float64, count=n)
+            features[:, self._failure_slot] = np.tanh(attempts / 3.0)
         if self.instance_context_dim:
             features[:, self.feature_dim - self.instance_context_dim :] = self._context_row(snapshot)
         return features

@@ -28,7 +28,9 @@ import numpy as np
 
 from ..dbms import INSTANCE_FEATURE_DIM, QueryExecutionRecord, RoundLog, RunningParameters
 from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..dbms.faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile, QueryFate
 from ..exceptions import SimulationError
+from ..seeding import SeedSpawner
 from ..workloads import BatchQuerySet, Query
 from .features import MIN_REMAINING, TIME_SCALE
 from .perfmodel import PerformanceModel
@@ -65,6 +67,8 @@ class SimulatedCluster:
         perf: PerformanceModel,
         instance_connections: Sequence[int],
         name: str = "simulated-cluster",
+        faults: FailureProfile | None = None,
+        seed: int = 0,
     ) -> None:
         if not instance_connections:
             raise SimulationError("a simulated cluster needs at least one instance")
@@ -76,13 +80,31 @@ class SimulatedCluster:
         self.perf = perf
         self.instance_connections = tuple(int(count) for count in instance_connections)
         self.name = name
+        self.faults = faults
+        self.seeds = SeedSpawner(seed)
         self._round_counter = 0
 
     @classmethod
-    def for_cluster(cls, perf: PerformanceModel, cluster: "Cluster", name: str | None = None) -> "SimulatedCluster":
-        """A simulated twin of ``cluster`` (same topology and defaults)."""
+    def for_cluster(
+        cls,
+        perf: PerformanceModel,
+        cluster: "Cluster",
+        name: str | None = None,
+        faults: FailureProfile | None = None,
+    ) -> "SimulatedCluster":
+        """A simulated twin of ``cluster`` (same topology, defaults and faults).
+
+        The twin inherits the real cluster's :class:`FailureProfile` unless an
+        explicit ``faults`` overrides it, so simulator pre-training exposes
+        the policy to the same failure behaviour the serving fleet exhibits.
+        """
         connections = [engine.profile.default_connections for engine in cluster.engines]
-        return cls(perf, connections, name=name or f"simulated-{cluster.name}")
+        return cls(
+            perf,
+            connections,
+            name=name or f"simulated-{cluster.name}",
+            faults=faults if faults is not None else cluster.faults,
+        )
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -104,11 +126,14 @@ class SimulatedCluster:
         num_connections: int | None = None,
         strategy: str = "",
         round_id: int | None = None,
+        faults: FailureProfile | None = None,
     ) -> "SimulatedClusterSession":
         """Open one simulated round across every instance.
 
         ``num_connections`` is *per instance* (the cluster convention);
-        ``None`` uses each instance's default connection count.
+        ``None`` uses each instance's default connection count.  Fault fates
+        draw from a dedicated per-round stream mirroring the real engine's
+        derivation, so the fault-free path stays bit-identical.
         """
         if round_id is None:
             round_id = self._round_counter
@@ -117,12 +142,18 @@ class SimulatedCluster:
             num_connections if num_connections is not None else default
             for default in self.instance_connections
         ]
+        session_faults = faults if faults is not None else self.faults
+        fault_rng = (
+            self.seeds.derive(round_id, FAULT_STREAM) if session_faults is not None else None
+        )
         return SimulatedClusterSession(
             cluster=self,
             batch=batch,
             instance_connections=connections,
             strategy=strategy,
             round_id=round_id,
+            faults=session_faults,
+            fault_rng=fault_rng,
         )
 
     def __repr__(self) -> str:
@@ -141,7 +172,11 @@ class SimulatedClusterSession:
         instance_connections: Sequence[int],
         strategy: str = "",
         round_id: int = 0,
+        faults: FailureProfile | None = None,
+        fault_rng: np.random.Generator | None = None,
     ) -> None:
+        if faults is not None and faults.has_random_faults and fault_rng is None:
+            raise SimulationError("a FailureProfile with random faults needs a fault_rng stream")
         self.cluster = cluster
         self.perf = cluster.perf
         self.batch = batch
@@ -150,6 +185,12 @@ class SimulatedClusterSession:
         self.pending: list[int] = [query.query_id for query in batch]
         self.deferred: list[int] = []
         self.finished: dict[int, float] = {}
+        #: Terminally failed queries (retries exhausted / never retried).
+        self.failed: dict[int, float] = {}
+        self._faults = faults
+        self._fault_rng = fault_rng
+        self._fates: dict[int, QueryFate] = {}
+        self._fault_events: list[CompletionEvent] = []
         self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
         self.instances = [
             _SimulatedInstance(index, count) for index, count in enumerate(instance_connections)
@@ -174,7 +215,89 @@ class SimulatedClusterSession:
         return self._placement.get(query_id, -1)
 
     def idle_instances(self) -> list[int]:
-        return [instance.index for instance in self.instances if instance.has_idle_connection]
+        return [
+            instance.index
+            for instance in self.instances
+            if instance.has_idle_connection and not self.instance_is_down(instance.index)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection API
+    # ------------------------------------------------------------------ #
+    def instance_is_down(self, instance: int) -> bool:
+        """Whether ``instance`` is inside an outage window right now."""
+        return self._faults is not None and self._faults.is_down(instance, self.current_time)
+
+    def instance_health(self) -> list[bool]:
+        """Per-instance up/down health (``False`` while inside an outage window)."""
+        return [not self.instance_is_down(instance.index) for instance in self.instances]
+
+    def next_fault_wakeup(self) -> float | None:
+        """Earliest recovery instant among currently-downed instances."""
+        if self._faults is None:
+            return None
+        wakeups = [
+            recovery
+            for instance in self.instances
+            if (recovery := self._faults.recovery_time(instance.index, self.current_time)) is not None
+        ]
+        return min(wakeups) if wakeups else None
+
+    def cancel(self, query_id: int) -> int:
+        """Kill a running query: free its connection, return it to pending.
+
+        Returns the freed *global* connection id (instance offsets applied).
+        """
+        placed = self._placement.get(query_id, -1)
+        if placed < 0 or query_id not in self.instances[placed].running:
+            raise SimulationError(f"query {query_id} is not running and cannot be cancelled")
+        instance = self.instances[placed]
+        state = instance.running.pop(query_id)
+        instance.feature_rows.pop(query_id, None)
+        instance.idle += 1
+        self._fates.pop(query_id, None)
+        self.pending.append(query_id)
+        return self._connection_offsets[placed] + state.connection
+
+    def mark_failed(self, query_id: int) -> None:
+        """Terminally fail a pending/deferred query (retries exhausted)."""
+        if query_id in self.pending:
+            self.pending.remove(query_id)
+        elif query_id in self.deferred:
+            self.deferred.remove(query_id)
+        else:
+            raise SimulationError(f"query {query_id} is not pending/deferred and cannot be failed")
+        self.failed[query_id] = self.current_time
+
+    def _kill_instant(self, instance: int, until: float) -> float | None:
+        """Earliest instant in ``(now, until]`` at which the instance's work dies."""
+        if self._faults is None:
+            return None
+        if self._faults.is_down(instance, self.current_time):
+            return self.current_time
+        start = self._faults.next_outage_start(instance, self.current_time)
+        if start is not None and start <= until:
+            return start
+        return None
+
+    def _kill_instance(self, instance: _SimulatedInstance) -> None:
+        """Kill every running query of one instance at the current instant."""
+        for query_id in sorted(instance.running):
+            state = instance.running.pop(query_id)
+            instance.feature_rows.pop(query_id, None)
+            instance.idle += 1
+            self._fates.pop(query_id, None)
+            self.pending.append(query_id)
+            self._fault_events.append(
+                CompletionEvent(
+                    query_id=query_id,
+                    finish_time=self.current_time,
+                    connection=self._connection_offsets[instance.index] + state.connection,
+                    instance=instance.index,
+                    failed=True,
+                    failure=FAILURE_OUTAGE,
+                )
+            )
 
     def instance_num_running(self) -> list[int]:
         return [len(instance.running) for instance in self.instances]
@@ -215,7 +338,7 @@ class SimulatedClusterSession:
 
     @property
     def has_idle_connection(self) -> bool:
-        return any(instance.has_idle_connection for instance in self.instances)
+        return bool(self.idle_instances())
 
     @property
     def has_pending(self) -> bool:
@@ -223,7 +346,8 @@ class SimulatedClusterSession:
 
     @property
     def num_running(self) -> int:
-        return sum(len(instance.running) for instance in self.instances)
+        """In-flight queries, including failures buffered but not yet delivered."""
+        return sum(len(instance.running) for instance in self.instances) + len(self._fault_events)
 
     @property
     def makespan(self) -> float:
@@ -270,9 +394,16 @@ class SimulatedClusterSession:
             raise SimulationError(f"instance {instance} out of range (fleet has {self.num_instances})")
         if query_id not in self.pending:
             raise SimulationError(f"query {query_id} is not pending in the simulator")
+        if self.instance_is_down(instance):
+            raise SimulationError(f"instance {instance} is down and accepts no submissions")
         target = self.instances[instance]
         if target.idle <= 0:
             raise SimulationError(f"instance {instance} has no idle connection in the simulated session")
+        if self._faults is not None and self._faults.has_random_faults:
+            assert self._fault_rng is not None
+            fate = self._faults.draw_fate(self._fault_rng)
+            if not fate.clean:
+                self._fates[query_id] = fate
         target.idle -= 1
         connection = target.num_connections - target.idle - 1
         self.pending.remove(query_id)
@@ -309,6 +440,17 @@ class SimulatedClusterSession:
         logits, times = self.perf.model.predict(features)
         index = int(np.argmax(logits))
         remaining = max(MIN_REMAINING, float(times[index]) * TIME_SCALE)
+        if self._fates:
+            # Mirror the fluid engine's fate semantics on predicted times: a
+            # straggler runs ``hang_factor`` times longer, an errored attempt
+            # dies after ``error_work_fraction`` of its predicted remainder.
+            fate = self._fates.get(states[index].query.query_id)
+            if fate is not None:
+                assert self._faults is not None
+                if fate.hang:
+                    remaining *= self._faults.hang_factor
+                if fate.error:
+                    remaining *= self._faults.error_work_fraction
         return self.current_time + remaining, states, index
 
     def advance(self, limit: float | None = None) -> CompletionEvent | None:
@@ -319,6 +461,8 @@ class SimulatedClusterSession:
         earliest one is materialised (instance index breaks exact ties), and
         with a ``limit`` the clock never moves past it (``None`` returned).
         """
+        if self._fault_events:
+            return self._fault_events.pop(0)
         if self.num_running == 0:
             if limit is None:
                 raise SimulationError("cannot advance: no query running in the simulator")
@@ -326,12 +470,18 @@ class SimulatedClusterSession:
             for instance in self.instances:
                 instance.clock = self.current_time
             return None
-        candidates: list[tuple[float, int, list[RunningQueryState], int]] = []
+        candidates: list[tuple[float, int, "list[RunningQueryState] | None", int]] = []
         for instance in self.instances:
             if not instance.running:
                 continue
             finish_time, states, index = self._instance_prediction(instance)
-            candidates.append((finish_time, instance.index, states, index))
+            kill_at = self._kill_instant(instance.index, finish_time)
+            if kill_at is not None:
+                # The instance dies before (or as) its earliest predicted
+                # completion: the event at this instant is an outage kill.
+                candidates.append((kill_at, instance.index, None, -1))
+            else:
+                candidates.append((finish_time, instance.index, states, index))
         finish_time, winner, states, index = min(candidates, key=lambda entry: (entry[0], entry[1]))
         if limit is not None and finish_time > limit:
             self.current_time = limit
@@ -341,7 +491,30 @@ class SimulatedClusterSession:
         self.current_time = finish_time
         for instance in self.instances:
             instance.clock = self.current_time
-        return self._finish(self.instances[winner], states[index])
+        if states is None:
+            self._kill_instance(self.instances[winner])
+            return self._fault_events.pop(0)
+        state = states[index]
+        fate = self._fates.pop(state.query.query_id, None)
+        if fate is not None and fate.error:
+            return self._fail(self.instances[winner], state)
+        return self._finish(self.instances[winner], state)
+
+    def _fail(self, instance: _SimulatedInstance, state: RunningQueryState) -> CompletionEvent:
+        """Materialise one predicted *errored* attempt: wasted work, no log."""
+        query_id = state.query.query_id
+        del instance.running[query_id]
+        instance.feature_rows.pop(query_id, None)
+        instance.idle += 1
+        self.pending.append(query_id)
+        return CompletionEvent(
+            query_id=query_id,
+            finish_time=self.current_time,
+            connection=self._connection_offsets[instance.index] + state.connection,
+            instance=instance.index,
+            failed=True,
+            failure=FAILURE_ERROR,
+        )
 
     def _finish(self, instance: _SimulatedInstance, state: RunningQueryState) -> CompletionEvent:
         """Materialise one predicted completion into log, state and event."""

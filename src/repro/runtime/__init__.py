@@ -15,14 +15,28 @@ single-batch loop into an event-queue architecture:
   percentiles once a round drains.
 """
 
-from .events import QueryArrival, QueryCompletion, RuntimeEvent
+from ..config import RetryPolicy
+from .events import (
+    InstanceRecovery,
+    QueryArrival,
+    QueryCompletion,
+    QueryFailure,
+    QueryRetry,
+    QueryTimeout,
+    RuntimeEvent,
+)
 from .queue import EventQueue
 from .report import ServiceReport, TenantReport
 from .runtime import ExecutionRuntime, RuntimeTenant, TenantSession
 
 __all__ = [
+    "InstanceRecovery",
     "QueryArrival",
     "QueryCompletion",
+    "QueryFailure",
+    "QueryRetry",
+    "QueryTimeout",
+    "RetryPolicy",
     "RuntimeEvent",
     "EventQueue",
     "ServiceReport",

@@ -1,6 +1,6 @@
 """Event types flowing through the execution runtime.
 
-Two kinds of events exist in an event-driven scheduling round:
+Several kinds of events exist in an event-driven scheduling round:
 
 * :class:`QueryArrival` — a streaming query becomes available to its tenant.
   Arrivals are *scheduled*: they sit in the :class:`~repro.runtime.EventQueue`
@@ -8,9 +8,19 @@ Two kinds of events exist in an event-driven scheduling round:
 * :class:`QueryCompletion` — the engine reports that a query finished.
   Completions are *generated* by the fluid engine (or the learned simulator)
   on demand and dispatched to the tenant that owns the query.
+* :class:`QueryFailure` — an attempt died (engine error, runtime timeout
+  kill, or instance outage).  Carries whether the runtime will retry it.
+* :class:`QueryRetry` — a failed query re-arrives after its backoff delay
+  and becomes pending again (scheduled, like an arrival).
+* :class:`QueryTimeout` — scheduled straggler check: if the attempt named by
+  ``attempt`` is still running when the clock reaches ``time``, the runtime
+  kills and requeues it.  Stale checks (the attempt already completed) are
+  skipped silently.
+* :class:`InstanceRecovery` — a synthetic wake-up: downed capacity returned
+  and schedulers should look for decisions again.  It belongs to no tenant.
 
-Both carry tenant-local query ids: a tenant never sees another tenant's
-global id space, which is what keeps per-tenant logs disjoint.
+All query events carry tenant-local query ids: a tenant never sees another
+tenant's global id space, which is what keeps per-tenant logs disjoint.
 """
 
 from __future__ import annotations
@@ -18,7 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-__all__ = ["QueryArrival", "QueryCompletion", "RuntimeEvent"]
+__all__ = [
+    "QueryArrival",
+    "QueryCompletion",
+    "QueryFailure",
+    "QueryRetry",
+    "QueryTimeout",
+    "InstanceRecovery",
+    "RuntimeEvent",
+]
 
 
 @dataclass(frozen=True)
@@ -46,4 +64,58 @@ class QueryCompletion:
     instance: int = 0
 
 
-RuntimeEvent = Union[QueryArrival, QueryCompletion]
+@dataclass(frozen=True)
+class QueryFailure:
+    """An attempt of ``tenant``'s query died at ``time``.
+
+    ``reason`` is one of the :mod:`repro.dbms.faults` failure constants
+    (``"error"`` / ``"timeout"`` / ``"outage"``); ``attempt`` counts the
+    submissions so far (1-based, never reused — outage kills keep the
+    counter monotonic even though they don't consume retry budget);
+    ``will_retry`` tells whether the runtime scheduled a :class:`QueryRetry`
+    (re-arriving at ``retry_at``) or marked the query terminally failed.
+    """
+
+    time: float
+    tenant: str
+    query_id: int
+    connection: int
+    instance: int = 0
+    reason: str = "error"
+    attempt: int = 1
+    will_retry: bool = False
+    retry_at: float | None = None
+
+
+@dataclass(frozen=True)
+class QueryRetry:
+    """A failed query of ``tenant`` re-arrives (becomes pending) at ``time``."""
+
+    time: float
+    tenant: str
+    query_id: int
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class QueryTimeout:
+    """Scheduled straggler check for one submission attempt of ``tenant``."""
+
+    time: float
+    tenant: str
+    query_id: int
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class InstanceRecovery:
+    """Downed capacity returned at ``time``; owned by no tenant."""
+
+    time: float
+    tenant: str = ""
+    instance: int = -1
+
+
+RuntimeEvent = Union[
+    QueryArrival, QueryCompletion, QueryFailure, QueryRetry, QueryTimeout, InstanceRecovery
+]

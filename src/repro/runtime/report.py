@@ -3,7 +3,10 @@
 A closed batch is judged by one number (makespan); a multi-tenant service
 with streaming arrivals needs per-tenant makespans *and* per-query latency
 percentiles (time from arrival to completion), which is what operators of a
-shared cluster actually answer for.
+shared cluster actually answer for.  Fault-tolerant serving adds the failure
+ledger: attempts that died, retries scheduled, straggler timeouts fired,
+queries lost for good — and goodput, the completions the service actually
+delivered per second of wall clock.
 """
 
 from __future__ import annotations
@@ -20,7 +23,12 @@ __all__ = ["TenantReport", "ServiceReport"]
 
 @dataclass(frozen=True)
 class TenantReport:
-    """Completion metrics of one tenant's round."""
+    """Completion metrics of one tenant's round.
+
+    ``num_queries`` counts *successful* completions; a tenant whose queries
+    all failed (or never arrived) reports zeroed latency fields rather than
+    NaN — see :meth:`ServiceReport.from_runtime`.
+    """
 
     tenant: str
     num_queries: int
@@ -29,6 +37,11 @@ class TenantReport:
     p50_latency: float
     p90_latency: float
     p99_latency: float
+    num_failed: int = 0
+    num_failed_attempts: int = 0
+    num_retries: int = 0
+    num_timeouts: int = 0
+    goodput: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -39,6 +52,11 @@ class TenantReport:
             "p50_latency": self.p50_latency,
             "p90_latency": self.p90_latency,
             "p99_latency": self.p99_latency,
+            "num_failed": self.num_failed,
+            "num_failed_attempts": self.num_failed_attempts,
+            "num_retries": self.num_retries,
+            "num_timeouts": self.num_timeouts,
+            "goodput": self.goodput,
         }
 
 
@@ -52,42 +70,104 @@ class ServiceReport:
 
     @classmethod
     def from_runtime(cls, runtime: ExecutionRuntime, strategy: str = "service") -> "ServiceReport":
-        """Summarise a finished runtime round."""
+        """Summarise a finished runtime round.
+
+        Well-formed for *every* tenant, including one with zero completed
+        queries (all failed, or an empty stream): latency fields are zeroed
+        instead of the NaN mean / ``IndexError`` percentile that
+        ``np.percentile([])`` would produce.
+        """
         if not runtime.is_done:
             raise SchedulingError("the runtime round has not finished yet")
+        total_time = runtime.current_time
         reports = []
         for name, session in runtime.sessions().items():
             latencies = np.array(sorted(session.latencies().values()), dtype=np.float64)
+            if latencies.size:
+                mean_latency = float(latencies.mean())
+                p50, p90, p99 = (float(np.percentile(latencies, q)) for q in (50, 90, 99))
+            else:
+                mean_latency = p50 = p90 = p99 = 0.0
+            completed = len(session.finished)
             reports.append(
                 TenantReport(
                     tenant=name,
-                    num_queries=len(session.finished),
+                    num_queries=completed,
                     makespan=session.makespan,
-                    mean_latency=float(latencies.mean()),
-                    p50_latency=float(np.percentile(latencies, 50)),
-                    p90_latency=float(np.percentile(latencies, 90)),
-                    p99_latency=float(np.percentile(latencies, 99)),
+                    mean_latency=mean_latency,
+                    p50_latency=p50,
+                    p90_latency=p90,
+                    p99_latency=p99,
+                    num_failed=len(getattr(session, "failed", ())),
+                    num_failed_attempts=getattr(session, "num_failed_attempts", 0),
+                    num_retries=getattr(session, "num_retries", 0),
+                    num_timeouts=getattr(session, "num_timeouts", 0),
+                    goodput=completed / total_time if total_time > 0 else 0.0,
                 )
             )
-        return cls(strategy=strategy, total_time=runtime.current_time, tenants=tuple(reports))
+        return cls(strategy=strategy, total_time=total_time, tenants=tuple(reports))
 
     @property
     def max_makespan(self) -> float:
         return max((tenant.makespan for tenant in self.tenants), default=0.0)
 
+    @property
+    def total_completed(self) -> int:
+        """Successful completions across every tenant."""
+        return sum(tenant.num_queries for tenant in self.tenants)
+
+    @property
+    def total_failed(self) -> int:
+        """Terminally failed queries across every tenant."""
+        return sum(tenant.num_failed for tenant in self.tenants)
+
+    @property
+    def total_failed_attempts(self) -> int:
+        """Failed/killed attempts across every tenant (incl. retried ones)."""
+        return sum(tenant.num_failed_attempts for tenant in self.tenants)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(tenant.num_retries for tenant in self.tenants)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(tenant.num_timeouts for tenant in self.tenants)
+
+    @property
+    def goodput(self) -> float:
+        """Service-wide successful completions per second of wall clock."""
+        return self.total_completed / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def max_p99_latency(self) -> float:
+        return max((tenant.p99_latency for tenant in self.tenants), default=0.0)
+
     def as_dict(self) -> dict:
         return {
             "strategy": self.strategy,
             "total_time": self.total_time,
+            "total_completed": self.total_completed,
+            "total_failed": self.total_failed,
+            "total_failed_attempts": self.total_failed_attempts,
+            "total_retries": self.total_retries,
+            "total_timeouts": self.total_timeouts,
+            "goodput": self.goodput,
             "tenants": [tenant.as_dict() for tenant in self.tenants],
         }
 
     def __str__(self) -> str:
         lines = [f"ServiceReport(strategy={self.strategy}, total_time={self.total_time:.2f}s)"]
         for tenant in self.tenants:
-            lines.append(
+            line = (
                 f"  {tenant.tenant:<12} n={tenant.num_queries:<4} makespan={tenant.makespan:7.2f}s  "
                 f"latency mean={tenant.mean_latency:6.2f}s p50={tenant.p50_latency:6.2f}s "
                 f"p90={tenant.p90_latency:6.2f}s p99={tenant.p99_latency:6.2f}s"
             )
+            if tenant.num_failed_attempts or tenant.num_failed:
+                line += (
+                    f"  faults: failed={tenant.num_failed} attempts={tenant.num_failed_attempts} "
+                    f"retries={tenant.num_retries} timeouts={tenant.num_timeouts}"
+                )
+            lines.append(line)
         return "\n".join(lines)

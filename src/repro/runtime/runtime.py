@@ -39,15 +39,26 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from ..config import RetryPolicy
 from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..dbms.faults import FAILURE_OUTAGE, FAILURE_TIMEOUT
 from ..dbms.logs import QueryExecutionRecord, RoundLog
 from ..exceptions import SchedulingError
 from ..seeding import SeedSpawner
 from ..workloads import ArrivalProcess, BatchQuerySet
-from .events import QueryArrival, QueryCompletion, RuntimeEvent
+from .events import (
+    InstanceRecovery,
+    QueryArrival,
+    QueryCompletion,
+    QueryFailure,
+    QueryRetry,
+    QueryTimeout,
+    RuntimeEvent,
+)
 from .queue import EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dbms.faults import FailureProfile
     from ..dbms.params import RunningParameters
 
 __all__ = ["ExecutionRuntime", "RuntimeTenant", "TenantSession"]
@@ -70,15 +81,40 @@ class _TenantState:
 
 
 class ExecutionRuntime:
-    """Advances one shared backend session and dispatches events to tenants."""
+    """Advances one shared backend session and dispatches events to tenants.
 
-    def __init__(self, backend: Any) -> None:
+    ``faults`` injects a :class:`~repro.dbms.faults.FailureProfile` into
+    every round the runtime opens (passed through to the backend's
+    ``new_session``); ``retry`` governs how failed attempts are handled —
+    backoff re-arrivals through the event queue, straggler timeout kills,
+    and the terminal-failure fallback once the attempt budget is exhausted.
+    Instance-outage kills are *always* requeued (retry policy or not): an
+    outage is the fleet's fault, not the query's.  Both default to ``None``,
+    which keeps every code path bit-identical to the fault-free tree.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        retry: RetryPolicy | None = None,
+        faults: "FailureProfile | None" = None,
+    ) -> None:
         self.backend = backend
+        self.retry = retry
+        self.faults = faults
         self._tenants: dict[str, _TenantState] = {}
         self._offsets: list[int] = []
         self._order: list[str] = []
         self.events = EventQueue()
         self._shared: Any = None
+        #: Submissions so far per *global* query id (1-based after the first
+        #: submit); strictly monotonic — attempt numbers are never reused, so
+        #: a scheduled timeout check can always tell whether its attempt is
+        #: still the live one.  Cleared when a fresh round opens.
+        self._attempts: dict[int, int] = {}
+        #: Outage kills per global query id: these don't count against
+        #: ``RetryPolicy.max_attempts`` (the fleet failed, not the query).
+        self._outage_kills: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Tenant registration
@@ -196,13 +232,24 @@ class ExecutionRuntime:
 
     def _open_round(self, num_connections: int | None, strategy: str, round_id: int | None) -> None:
         union = BatchQuerySet([query for name in self._order for query in self._tenants[name].batch])
-        self._shared = self.backend.new_session(
-            union,
-            num_connections=num_connections,
-            strategy=strategy,
-            round_id=round_id,
-        )
+        if self.faults is None:
+            self._shared = self.backend.new_session(
+                union,
+                num_connections=num_connections,
+                strategy=strategy,
+                round_id=round_id,
+            )
+        else:
+            self._shared = self.backend.new_session(
+                union,
+                num_connections=num_connections,
+                strategy=strategy,
+                round_id=round_id,
+                faults=self.faults,
+            )
         self.events.clear()
+        self._attempts.clear()
+        self._outage_kills.clear()
         opened_round_id = self._shared.log.round_id
         for state in self._tenants.values():
             times = self._arrival_times(state, opened_round_id)
@@ -242,35 +289,183 @@ class ExecutionRuntime:
     def advance(self) -> RuntimeEvent:
         """Advance the engine to the next event, dispatch it, and return it.
 
-        The next event is either the earliest query completion the backend
-        predicts, or the earliest scheduled arrival — whichever comes first.
-        Ties resolve in favour of the completion (its finish instant is at or
-        before the arrival's), which keeps the closed single-tenant path
-        identical to driving the engine session directly.
+        The next event is either the earliest query completion (or failure)
+        the backend predicts, the earliest scheduled event (arrival, retry
+        re-arrival, timeout check), or — on a faulty backend — the earliest
+        instance recovery.  Ties resolve in favour of the completion (its
+        finish instant is at or before the scheduled event's), which keeps
+        the closed single-tenant path identical to driving the engine
+        session directly.  Stale timeout checks are consumed silently and
+        the loop keeps advancing until a real event surfaces.
         """
         shared = self.shared_session
-        next_arrival = self.events.peek_time()
-        if shared.num_running:
-            completion = shared.advance(limit=next_arrival)
-            if completion is not None:
-                return self._dispatch_completion(completion)
-        elif next_arrival is None:
-            raise SchedulingError("cannot advance: nothing is running and no arrival is scheduled")
-        else:
-            shared.advance(limit=next_arrival)
-        return self._release_next_arrival()
+        while True:
+            next_scheduled = self.events.peek_time()
+            wakeup_fn = getattr(shared, "next_fault_wakeup", None)
+            wakeup = wakeup_fn() if wakeup_fn is not None else None
+            limits = [value for value in (next_scheduled, wakeup) if value is not None]
+            limit = min(limits) if limits else None
+            if shared.num_running:
+                completion = shared.advance(limit=limit)
+                if completion is not None:
+                    return self._dispatch_completion(completion)
+            elif limit is None:
+                raise self._deadlock_error()
+            else:
+                shared.advance(limit=limit)
+            if next_scheduled is not None and next_scheduled <= shared.current_time:
+                event = self._pop_scheduled_event()
+                if event is not None:
+                    return event
+                # Stale timeout check: nothing happened — but popping it may
+                # have idled the clock across a recovery boundary, and then
+                # control must return to the schedulers (capacity is back).
+                if wakeup is not None and shared.current_time >= wakeup:
+                    return InstanceRecovery(time=shared.current_time)
+                continue
+            # The clock stopped at a fault wake-up: downed capacity returned.
+            return InstanceRecovery(time=shared.current_time)
 
-    def _release_next_arrival(self) -> QueryArrival:
+    def _deadlock_error(self) -> SchedulingError:
+        """Diagnostic for a stalled round: who still holds undrained work."""
+        details = []
+        for name in self._order:
+            session = self._tenants[name].session
+            if session is None or session.is_done:
+                continue
+            details.append(
+                f"{name!r}: pending={len(session.pending)}, running={session.num_running}, "
+                f"unarrived={len(session.unarrived_ids())}, awaiting_retry={len(session.retrying_ids())}"
+            )
+        undrained = "; ".join(details) if details else "none (shared session holds orphaned work)"
+        return SchedulingError(
+            "cannot advance: nothing is running, no event is scheduled and no recovery is "
+            f"pending — the round is deadlocked. Undrained tenants: {undrained}"
+        )
+
+    def _pop_scheduled_event(self) -> "RuntimeEvent | None":
+        """Pop and apply the earliest scheduled event (``None`` if it was stale)."""
         event = self.events.pop()
-        assert isinstance(event, QueryArrival)  # only arrivals are scheduled
         state = self._tenants[event.tenant]
-        self.shared_session.release(state.offset + event.query_id)
         assert state.session is not None
-        state.session._on_arrival(event)
+        if isinstance(event, QueryArrival):
+            self.shared_session.release(state.offset + event.query_id)
+            state.session._on_arrival(event)
+            return event
+        if isinstance(event, QueryRetry):
+            self.shared_session.release(state.offset + event.query_id)
+            state.session._on_retry(event)
+            return event
+        assert isinstance(event, QueryTimeout)
+        return self._apply_timeout(event, state)
+
+    def _apply_timeout(self, event: QueryTimeout, state: _TenantState) -> "QueryFailure | None":
+        """Kill-and-requeue a straggler, unless the check is stale."""
+        shared = self.shared_session
+        global_id = state.offset + event.query_id
+        if self._attempts.get(global_id, 0) != event.attempt or global_id not in shared.running:
+            return None
+        instance_of = getattr(shared, "instance_of", None)
+        instance = instance_of(global_id) if instance_of is not None else 0
+        connection = shared.cancel(global_id)
+        return self._register_failure(
+            state,
+            event.query_id,
+            time=shared.current_time,
+            connection=connection,
+            instance=max(0, instance),
+            reason=FAILURE_TIMEOUT,
+        )
+
+    def _register_failure(
+        self,
+        state: _TenantState,
+        local_id: int,
+        time: float,
+        connection: int,
+        instance: int,
+        reason: str,
+    ) -> QueryFailure:
+        """Decide one failed attempt's future: retry re-arrival or terminal.
+
+        By the time this runs the shared session holds the query *pending*
+        again (failed attempts always return there); retrying moves it to
+        deferred until the scheduled :class:`QueryRetry` releases it.
+        """
+        global_id = state.offset + local_id
+        attempt = self._attempts.get(global_id, 1)
+        shared = self.shared_session
+        if reason == FAILURE_OUTAGE:
+            # Outage kills requeue immediately and don't consume any of the
+            # retry budget: the dead instance is excluded naturally (it has
+            # no idle connections until it recovers), so the resubmission
+            # lands on surviving capacity.  The submission counter itself
+            # stays monotonic — reusing attempt numbers would let a stale
+            # pre-outage timeout check alias onto the fresh attempt.
+            self._outage_kills[global_id] = self._outage_kills.get(global_id, 0) + 1
+            will_retry = True
+            delay = 0.0
+        else:
+            will_retry = False
+            delay = 0.0
+            consumed = attempt - self._outage_kills.get(global_id, 0)
+            if self.retry is not None and consumed < self.retry.max_attempts:
+                will_retry = True
+                delay = self.retry.delay_for(max(1, consumed))
+        retry_at: float | None = None
+        if will_retry:
+            retry_at = time + delay
+            shared.defer([global_id])
+            self.events.push(
+                QueryRetry(time=retry_at, tenant=state.name, query_id=local_id, attempt=attempt + 1)
+            )
+        else:
+            shared.mark_failed(global_id)
+        event = QueryFailure(
+            time=time,
+            tenant=state.name,
+            query_id=local_id,
+            connection=connection,
+            instance=instance,
+            reason=reason,
+            attempt=attempt,
+            will_retry=will_retry,
+            retry_at=retry_at,
+        )
+        assert state.session is not None
+        state.session._on_failure(event)
         return event
 
-    def _dispatch_completion(self, completion: CompletionEvent) -> QueryCompletion:
+    def _note_submit(self, state: _TenantState, local_id: int) -> None:
+        """Count one submission attempt and arm its straggler timeout."""
+        global_id = state.offset + local_id
+        attempt = self._attempts.get(global_id, 0) + 1
+        self._attempts[global_id] = attempt
+        if self.retry is not None and self.retry.timeout is not None:
+            self.events.push(
+                QueryTimeout(
+                    time=self.shared_session.current_time + self.retry.timeout,
+                    tenant=state.name,
+                    query_id=local_id,
+                    attempt=attempt,
+                )
+            )
+
+    def attempts_of(self, state: "_TenantState", local_id: int) -> int:
+        """Submission attempts so far for a tenant-local query id."""
+        return self._attempts.get(state.offset + local_id, 0)
+
+    def _dispatch_completion(self, completion: CompletionEvent) -> "QueryCompletion | QueryFailure":
         state, local_id = self._locate(completion.query_id)
+        if completion.failed:
+            return self._register_failure(
+                state,
+                local_id,
+                time=completion.finish_time,
+                connection=completion.connection,
+                instance=completion.instance,
+                reason=completion.failure,
+            )
         record = self.shared_session.log.records[-1]
         event = QueryCompletion(
             time=completion.finish_time,
@@ -359,6 +554,16 @@ class TenantSession:
             self._unarrived = {query.query_id for query in state.batch if arrival_times[query.query_id] > 0.0}
         self._running: set[int] = set()
         self.finished: dict[int, float] = {}
+        #: Terminally failed queries (error/timeout retries exhausted).
+        self.failed: dict[int, float] = {}
+        #: Queries awaiting a scheduled retry re-arrival, and when it fires.
+        self._retrying: set[int] = set()
+        self._retry_times: dict[int, float] = {}
+        #: Failed attempts per query (errors, timeout kills, outage kills).
+        self._failure_counts: dict[int, int] = {}
+        self.num_failed_attempts = 0
+        self.num_timeouts = 0
+        self.num_retries = 0
 
     # -- identity ------------------------------------------------------- #
     @property
@@ -387,7 +592,12 @@ class TenantSession:
 
     @property
     def is_done(self) -> bool:
-        return not self.pending and not self._running and not self._unarrived
+        return (
+            not self.pending
+            and not self._running
+            and not self._unarrived
+            and not self._retrying
+        )
 
     @property
     def has_idle_connection(self) -> bool:
@@ -407,6 +617,29 @@ class TenantSession:
 
     def unarrived_ids(self) -> tuple[int, ...]:
         return tuple(sorted(self._unarrived))
+
+    def retrying_ids(self) -> tuple[int, ...]:
+        """Queries whose failed attempt awaits its scheduled retry re-arrival."""
+        return tuple(sorted(self._retrying))
+
+    def retry_time(self, query_id: int) -> float:
+        """When the query's scheduled retry re-arrives (0.0 if not retrying)."""
+        return self._retry_times.get(query_id, 0.0)
+
+    def attempts(self, query_id: int) -> int:
+        """Submission attempts so far for one of this tenant's queries."""
+        return self._runtime.attempts_of(self._state, query_id)
+
+    def failure_counts(self) -> dict[int, int]:
+        """Failed attempts per tenant-local query id (empty when fault-free)."""
+        return dict(self._failure_counts)
+
+    def instance_health(self) -> list[bool]:
+        """Per-instance up/down health of the shared backend."""
+        health_fn = getattr(self._shared, "instance_health", None)
+        if health_fn is not None:
+            return list(health_fn())
+        return [True] * self.num_instances
 
     def arrival_time(self, query_id: int) -> float:
         """When the query arrives (0.0 in the closed scenario)."""
@@ -495,6 +728,7 @@ class TenantSession:
             connection = self._shared.submit(global_id, parameters, instance=instance)
         self.pending.remove(query_id)
         self._running.add(query_id)
+        self._runtime._note_submit(self._state, query_id)
         return connection
 
     def advance(self, limit: float | None = None) -> "RuntimeEvent | None":
@@ -528,6 +762,25 @@ class TenantSession:
     # -- event sinks ------------------------------------------------------ #
     def _on_arrival(self, event: QueryArrival) -> None:
         self._unarrived.discard(event.query_id)
+        self.pending.append(event.query_id)
+
+    def _on_failure(self, event: QueryFailure) -> None:
+        self._running.discard(event.query_id)
+        self.num_failed_attempts += 1
+        self._failure_counts[event.query_id] = self._failure_counts.get(event.query_id, 0) + 1
+        if event.reason == FAILURE_TIMEOUT:
+            self.num_timeouts += 1
+        if event.will_retry:
+            self.num_retries += 1
+            self._retrying.add(event.query_id)
+            if event.retry_at is not None:
+                self._retry_times[event.query_id] = event.retry_at
+        else:
+            self.failed[event.query_id] = event.time
+
+    def _on_retry(self, event: QueryRetry) -> None:
+        self._retrying.discard(event.query_id)
+        self._retry_times.pop(event.query_id, None)
         self.pending.append(event.query_id)
 
     def _on_completion(self, event: QueryCompletion, record: QueryExecutionRecord) -> None:

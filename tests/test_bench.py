@@ -258,12 +258,36 @@ class TestCompareBaselines:
         _, failures = compare.compare_dir(baseline_dir, results_dir)
         assert failures, "example counts must match exactly"
 
+    def test_zero_tolerance_gets_no_absolute_escape_hatch(self):
+        """Regression: ``within()`` applied the 0.05 absolute hatch *after*
+        the tolerance check, so a zero-tolerance metric silently passed
+        drifts up to 0.05 on float metrics."""
+        compare = _load_compare()
+        assert not compare.within(100.0, 100.03, rel_tol=0.0)
+        assert not compare.within(0.02, 0.06, rel_tol=0.0)
+        assert compare.within(100.0, 100.0, rel_tol=0.0)
+        # the hatch still applies to genuinely tolerant metrics
+        assert compare.within(0.01, 0.02, rel_tol=0.35)
+
+    def test_zero_tolerance_float_drift_fails_compare(self, tmp_path):
+        compare = _load_compare()
+        baseline_dir = tmp_path / "baselines"
+        results_dir = tmp_path / "results"
+        self._write(baseline_dir, "demo", {"num_examples": 17.0})
+        self._write(results_dir, "demo", {"num_examples": 17.04})
+        _, failures = compare.compare_dir(baseline_dir, results_dir)
+        assert failures and "num_examples" in failures[0]
+
     def test_committed_baselines_cover_the_smoke_subset(self):
         from pathlib import Path
 
         baselines = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
         names = {path.name for path in baselines.glob("*.json")}
-        assert {"table3_simulator_model.json", "cluster_sim_pretrain.json"} <= names
+        assert {
+            "table3_simulator_model.json",
+            "cluster_sim_pretrain.json",
+            "fault_tolerance.json",
+        } <= names
 
 
 class TestRunAllFilters:
