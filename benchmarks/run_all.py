@@ -9,7 +9,7 @@ directory to compare runs.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--profile quick|full]
+    PYTHONPATH=src python benchmarks/run_all.py [--profile quick|full] [--profiling]
                                                 [--results-dir DIR]
                                                 [--only PATTERN] [--skip PATTERN]
 
@@ -89,6 +89,21 @@ def summarise(results_dir: Path) -> list[list[str]]:
         size = len(payload) if isinstance(payload, (dict, list)) else 1
         schema = document.get("schema_version", "missing")
         rows.append([path.name, str(schema), document.get("profile", "?"), f"{size} payload entries"])
+        cells = payload.get("cells") if isinstance(payload, dict) else None
+        if isinstance(cells, dict):
+            # Scaling benchmarks report one steps/sec entry per num_envs cell;
+            # surface them in the aggregate so the curve is visible at a glance.
+            for cell_name, cell in cells.items():
+                if isinstance(cell, dict) and "steps_per_sec" in cell:
+                    rows.append(
+                        [
+                            f"  · {cell_name}",
+                            "",
+                            "",
+                            f"num_envs={cell.get('num_envs', '?')}: "
+                            f"{cell['steps_per_sec']:.0f} steps/sec",
+                        ]
+                    )
     return rows
 
 
@@ -96,6 +111,10 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", choices=("quick", "full"), default=None,
                         help="effort profile (default: REPRO_BENCH_PROFILE or quick)")
+    parser.add_argument("--profiling", action="store_true",
+                        help="collect cProfile + section-timer JSON alongside the measurements "
+                             "(sets REPRO_BENCH_PROFILING=1 for every benchmark; distinct from "
+                             "--profile, which picks the effort level)")
     parser.add_argument("--results-dir", default=None,
                         help="where JSON results land (default: REPRO_BENCH_RESULTS or benchmarks/results)")
     parser.add_argument("--only", action="append", default=None, metavar="PATTERN",
@@ -107,6 +126,8 @@ def main() -> int:
     env = dict(os.environ)
     if args.profile:
         env["REPRO_BENCH_PROFILE"] = args.profile
+    if args.profiling:
+        env["REPRO_BENCH_PROFILING"] = "1"
     if args.results_dir:
         env["REPRO_BENCH_RESULTS"] = args.results_dir
     src = str(REPO_ROOT / "src")
@@ -130,7 +151,10 @@ def main() -> int:
         results_dir = REPO_ROOT / results_dir
     print("\nCollected JSON results:")
     for name, schema, profile, info in summarise(results_dir):
-        print(f"  {name:<36} schema={schema:<3} profile={profile:<6} {info}")
+        if schema:
+            print(f"  {name:<36} schema={schema:<3} profile={profile:<6} {info}")
+        else:
+            print(f"  {name:<36} {info}")
 
     if failures:
         print(f"\n{len(failures)} benchmark file(s) failed: {', '.join(failures)}", file=sys.stderr)

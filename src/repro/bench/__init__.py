@@ -12,6 +12,13 @@ from .harness import (
     get_profile,
     run_strategy_comparison,
 )
+from .profiling import (
+    PROFILING_ENV,
+    SectionTimers,
+    profile_call,
+    profiling_enabled,
+    write_profile_json,
+)
 from .reporting import ComparisonRow, format_table, print_table, render_gantt, results_dir, write_json_report
 from . import paper_values
 
@@ -26,6 +33,11 @@ __all__ = [
     "evaluate_service",
     "get_profile",
     "run_strategy_comparison",
+    "PROFILING_ENV",
+    "SectionTimers",
+    "profile_call",
+    "profiling_enabled",
+    "write_profile_json",
     "ComparisonRow",
     "format_table",
     "print_table",

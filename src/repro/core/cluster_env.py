@@ -40,6 +40,7 @@ from .masking import AdaptiveMask
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.engine import RunningQueryState
+    from ..dbms.params import RunningParameters
 
 __all__ = ["ClusterSchedulingEnv", "cluster_instance_count", "greedy_cost_instance"]
 
@@ -243,7 +244,9 @@ class ClusterSchedulingEnv(SchedulingEnv):
             raise SchedulingError(f"query {query_id} is not pending")
         if not self.mask.is_allowed(query_id, config_index):
             raise SchedulingError(f"configuration {config_index} is masked for query {query_id}")
-        self._session.submit(query_id, self.config_space[config_index], instance=instance)
+        params = self.config_space[config_index]
+        self._session.submit(query_id, params, instance=instance)
+        self._record_submission(query_id, params)
 
     def _submit_cluster(self, cluster_id: int, joint_index: int) -> None:
         """Drain one query cluster across the fleet.
@@ -270,6 +273,7 @@ class ClusterSchedulingEnv(SchedulingEnv):
                     target = self._greedy_instance(query_id)
                 first = False
                 self._session.submit(query_id, params, instance=target)
+                self._record_submission(query_id, params)
             if remaining:
                 self._session.advance()
 
@@ -288,8 +292,25 @@ class ClusterSchedulingEnv(SchedulingEnv):
             attempts=attempts,
         )
 
+    def _record_submission(self, query_id: int, parameters: "RunningParameters") -> None:
+        """Record the joint (instance, configuration) index for the SoA path.
+
+        Placement is read back from the session (the cluster drain picks
+        greedy targets the caller never sees); the expected time keys on the
+        raw configuration index, exactly as :meth:`_running_info` does.
+        """
+        if self._soa_config_slots is None or self._soa_expected_slots is None:
+            return
+        config_index = self.config_space.index_of(parameters)
+        instance = max(0, self._session.instance_of(query_id))
+        self._soa_config_slots[query_id] = instance * self.num_configs + config_index
+        self._soa_expected_slots[query_id] = self.knowledge.expected_time(query_id, config_index)
+
     def _instance_context(self) -> tuple[tuple[float, ...], ...]:
         context = self._session.instance_context()
         if context is None:
             return ()
         return tuple(tuple(float(value) for value in row) for row in context)
+
+    def _instance_context_array(self) -> "np.ndarray | None":
+        return self._session.instance_context()

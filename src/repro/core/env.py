@@ -34,7 +34,8 @@ import numpy as np
 from ..config import SchedulerConfig
 from ..dbms import ConfigurationSpace, RunningParameters
 from ..dbms.logs import RoundLog
-from ..encoder import QueryRuntimeInfo, QueryStatus, SchedulingSnapshot
+from ..dbms.soa import SOA_DEFERRED
+from ..encoder import QueryRuntimeInfo, QueryStatus, SchedulingSnapshot, SnapshotArrays
 from ..exceptions import SchedulingError
 from ..runtime import ExecutionRuntime, RuntimeTenant
 from ..workloads import ArrivalProcess, BatchQuerySet
@@ -46,6 +47,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.engine import RunningQueryState
 
 __all__ = ["SchedulingEnv", "StepResult", "SchedulingSession", "SessionBackend", "drive_service"]
+
+#: Maps backend-observable ``SOA_*`` codes onto the three scheduler-visible
+#: status codes (FAILED reads as FINISHED, DEFERRED as PENDING).
+_SOA_STATUS_OBS = np.array([0, 1, 2, 2, 0], dtype=np.int8)
+
+#: True exactly for ``SOA_RUNNING`` — one table lookup instead of an
+#: equality scan per snapshot build.
+_SOA_IS_RUNNING = np.array([False, True, False, False, False])
+
+#: Observable config index per status when the query is *not* running:
+#: finished/failed queries report slot 0 (their config one-hot is kept by the
+#: AoS path too), pending/deferred report -1.  The running entry is a filler —
+#: running rows take the live config slot instead.
+_SOA_CONFIG_BASE = np.array([-1, 0, 0, 0, -1], dtype=np.int64)
 
 
 def drive_service(runtime: ExecutionRuntime, envs: "Sequence[SchedulingEnv]", select_action) -> None:
@@ -185,6 +200,13 @@ class SchedulingEnv:
         self._cluster_remaining: list[list[int]] = []
         self._round_counter = 0
         self._static_infos: dict[tuple[int, QueryStatus], QueryRuntimeInfo] = {}
+        # Fast-snapshot columns (rebuilt per reset, when knowledge may have
+        # been refreshed): per-query average expected time, and the config
+        # index / expected time recorded at each submission so the snapshot
+        # never re-derives them per step.
+        self._soa_avg_expected: np.ndarray | None = None
+        self._soa_config_slots: np.ndarray | None = None
+        self._soa_expected_slots: np.ndarray | None = None
 
     @property
     def runtime(self) -> ExecutionRuntime:
@@ -276,6 +298,11 @@ class SchedulingEnv:
         self._last_time = 0.0
         self._last_failures = 0
         self._static_infos.clear()
+        self._soa_avg_expected = np.array(
+            [self.knowledge.average_time(query.query_id) for query in self.batch], dtype=np.float64
+        )
+        self._soa_config_slots = np.zeros(len(self.batch), dtype=np.int64)
+        self._soa_expected_slots = np.zeros(len(self.batch), dtype=np.float64)
         if self.cluster_mode:
             self._cluster_remaining = [list(self.clusters.intra_order(c)) for c in range(self.clusters.num_clusters)]
         return self.snapshot()
@@ -360,7 +387,9 @@ class SchedulingEnv:
             raise SchedulingError(f"query {query_id} is not pending")
         if not self.mask.is_allowed(query_id, config_index):
             raise SchedulingError(f"configuration {config_index} is masked for query {query_id}")
-        self._session.submit(query_id, self.config_space[config_index])
+        params = self.config_space[config_index]
+        self._session.submit(query_id, params)
+        self._record_submission(query_id, params)
 
     def _submit_cluster(self, cluster_id: int, config_index: int) -> None:
         remaining = self._cluster_remaining[cluster_id]
@@ -374,6 +403,7 @@ class SchedulingEnv:
                 query_id = remaining.pop(0)
                 params = self._resolve_cluster_config(query_id, cluster_params, config_index)
                 self._session.submit(query_id, params)
+                self._record_submission(query_id, params)
             if remaining:
                 self._session.advance()
 
@@ -385,6 +415,22 @@ class SchedulingEnv:
             return cluster_params
         allowed = self.mask.allowed_configs(query_id)
         return self.config_space.closest_to(cluster_params, allowed=allowed)
+
+    def _record_submission(self, query_id: int, parameters: RunningParameters) -> None:
+        """Capture the submitted configuration for the fast snapshot path.
+
+        The AoS snapshot re-derives ``index_of(state.parameters)`` and the
+        expected time on every step; recording both once at submission keeps
+        the SoA snapshot free of per-query lookups.  ``parameters`` is the
+        *actually submitted* configuration (cluster drains may substitute
+        the closest allowed one), so ``index_of`` matches what the AoS path
+        reads back from the running state.
+        """
+        if self._soa_config_slots is None or self._soa_expected_slots is None:
+            return
+        config_index = self.config_space.index_of(parameters)
+        self._soa_config_slots[query_id] = config_index
+        self._soa_expected_slots[query_id] = self.knowledge.expected_time(query_id, config_index)
 
     def can_decide(self) -> bool:
         """Whether a scheduling decision is possible right now.
@@ -418,6 +464,58 @@ class SchedulingEnv:
         they are as unselectable as completed ones, and their attempt count
         tells them apart), and per-instance health while any instance is
         down.
+
+        When the session maintains SoA state arrays the snapshot is a
+        :class:`~repro.encoder.SnapshotArrays` built with a handful of
+        whole-array ops — bit-identical to the AoS path (verified by digest
+        in ``tests/test_hotpath.py``) and duck-typing its read API; sessions
+        without state arrays fall back to :meth:`snapshot_aos`.
+        """
+        self._require_session()
+        arrays = self._snapshot_arrays()
+        if arrays is not None:
+            return arrays  # type: ignore[return-value]
+        return self.snapshot_aos()
+
+    def _snapshot_arrays(self) -> "SnapshotArrays | None":
+        """Assemble the SoA snapshot from incrementally-maintained columns."""
+        session = self._session
+        status_raw = getattr(session, "soa_status", None)
+        if status_raw is None or self._soa_config_slots is None:
+            return None
+        now = session.current_time
+        running = _SOA_IS_RUNNING[status_raw]
+        config_index = np.where(running, self._soa_config_slots, _SOA_CONFIG_BASE[status_raw])
+        elapsed = np.where(running, now - session.soa_submit_time, 0.0)
+        expected = np.where(running, self._soa_expected_slots, self._soa_avg_expected)
+        available = status_raw != SOA_DEFERRED
+        time_to_available = np.zeros(status_raw.shape[0], dtype=np.float64)
+        if not available.all():
+            deferred = ~available
+            # Mirrors the AoS ``max(0.0, available_at - now)`` exactly:
+            # positive waits pass through bit-identically, the rest become
+            # positive zero.
+            wait = session.soa_available_at[deferred] - now
+            wait[wait <= 0.0] = 0.0
+            time_to_available[deferred] = wait
+        return SnapshotArrays(
+            time=now,
+            status=_SOA_STATUS_OBS[status_raw],
+            config_index=config_index,
+            elapsed=elapsed,
+            expected_time=expected,
+            available=available,
+            time_to_available=time_to_available,
+            attempts=session.soa_attempts.copy(),
+            instance_context_array=self._instance_context_array(),
+            instance_health_array=self._instance_health_array(),
+        )
+
+    def snapshot_aos(self) -> SchedulingSnapshot:
+        """Reference AoS snapshot (one frozen info per query).
+
+        Kept as the fallback for sessions without SoA state arrays and as
+        the parity reference the digest tests compare the fast path against.
         """
         self._require_session()
         session = self._session
@@ -509,6 +607,17 @@ class SchedulingEnv:
     def _instance_context(self) -> tuple[tuple[float, ...], ...]:
         """Per-instance context rows for the snapshot (empty off-cluster)."""
         return ()
+
+    def _instance_context_array(self) -> "np.ndarray | None":
+        """Array form of :meth:`_instance_context` (``None`` off-cluster)."""
+        return None
+
+    def _instance_health_array(self) -> "np.ndarray | None":
+        """Array form of :meth:`_instance_health` (``None`` when all up)."""
+        health = self._instance_health()
+        if not health:
+            return None
+        return np.array(health, dtype=bool)
 
     def _instance_health(self) -> tuple[bool, ...]:
         """Per-instance health for the snapshot; empty means everything is up.

@@ -36,6 +36,10 @@ class ExternalKnowledge:
     config_space: ConfigurationSpace
     config_times: dict[int, dict[int, float]] = field(default_factory=dict)
     average_times: dict[int, float] = field(default_factory=dict)
+    #: Bumped on every log-driven refresh so consumers that bake expected
+    #: times into derived caches (e.g. simulator feature rows) can tell when
+    #: their entries went stale.
+    version: int = 0
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -63,6 +67,7 @@ class ExternalKnowledge:
 
     def update_from_log(self, log: ExecutionLog) -> None:
         """Refresh average times (and per-config times) from execution logs."""
+        self.version += 1
         self.average_times.update(log.average_execution_times())
         for query_id, by_config in log.execution_times_by_configuration().items():
             bucket = self.config_times.setdefault(query_id, {})

@@ -105,14 +105,20 @@ class RolloutBuffer:
         """Fill in the earliest-finishing running query and its remaining time."""
         finish_times = {record.query_id: record.finish_time for record in round_log}
         for transition in transitions:
-            running = transition.snapshot.running_ids
-            candidates = [(finish_times[qid], qid) for qid in running if qid in finish_times]
-            candidates = [(finish, qid) for finish, qid in candidates if finish > transition.time]
-            if not candidates:
+            # Single pass over the (tiny) running set; identical to taking
+            # min() over the eligible (finish, qid) pairs, without building
+            # the intermediate candidate lists on the hot episode-close path.
+            best_finish, best_qid = None, -1
+            for qid in transition.snapshot.running_ids:
+                finish = finish_times.get(qid)
+                if finish is None or finish <= transition.time:
+                    continue
+                if best_finish is None or finish < best_finish or (finish == best_finish and qid < best_qid):
+                    best_finish, best_qid = finish, qid
+            if best_finish is None:
                 continue
-            finish, query_id = min(candidates)
-            transition.aux_query_id = query_id
-            transition.aux_target = finish - transition.time
+            transition.aux_query_id = best_qid
+            transition.aux_target = best_finish - transition.time
 
     # ------------------------------------------------------------------ #
     # Access

@@ -24,6 +24,7 @@ import numpy as np
 from ..config import SimulatorConfig
 from ..dbms import ConfigurationSpace, ExecutionLog, QueryExecutionRecord, RoundLog, RunningParameters
 from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..dbms.soa import SessionStateArrays
 from ..exceptions import SimulationError
 from ..nn import Adam
 from ..perf import ConcurrentPredictionModel, PerformanceModel, SimulatorMetrics
@@ -67,6 +68,12 @@ class LearnedSimulator:
             config=config,
             seed=seed,
         )
+        # Fresh-submission feature rows keyed (query_id, config_index),
+        # shared across the sessions of every episode.  A row bakes in the
+        # knowledge-estimated expected time, so entries are dropped whenever
+        # the knowledge version moves.
+        self._row_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._row_cache_version = -1
 
     # ------------------------------------------------------------------ #
     # Delegation to the performance-model layer
@@ -91,6 +98,25 @@ class LearnedSimulator:
         elapsed: Sequence[float],
     ) -> np.ndarray:
         return self.perf.featurizer.rows(query_ids, parameters, elapsed)
+
+    def cached_feature_row(self, query_id: int, parameters: RunningParameters) -> np.ndarray:
+        """Feature row of a fresh submission (``elapsed = 0``), cached.
+
+        Rows depend only on the frozen plan embedding, the configuration
+        one-hot and the knowledge-estimated expected time, so they stay valid
+        across sessions until the knowledge is refreshed from new logs.  The
+        returned array is shared — callers must copy before mutating.
+        """
+        version = self.knowledge.version
+        if version != self._row_cache_version:
+            self._row_cache.clear()
+            self._row_cache_version = version
+        key = (query_id, self.config_space.index_of(parameters))
+        row = self._row_cache.get(key)
+        if row is None:
+            row = self._features([query_id], [parameters], [0.0])[0]
+            self._row_cache[key] = row
+        return row
 
     def train_from_log(
         self, log: ExecutionLog, epochs: int | None = None, validation_fraction: float = 0.2
@@ -163,6 +189,17 @@ class SimulatedSession:
         self.log = RoundLog(round_id=round_id, strategy=strategy or "simulated")
         self._idle = num_connections
         self._feature_rows: dict[int, np.ndarray] = {}
+        #: SoA mirror of the observable per-query state (fast snapshot path).
+        self.state_arrays = SessionStateArrays(len(batch))
+        # Live-query model input, maintained incrementally: row i of
+        # ``_live_matrix`` is the feature row of the i-th entry of
+        # ``running`` (submission order), with only the elapsed column
+        # rewritten per advance.  Capacity is bounded by the connection pool.
+        self._live_states: list[RunningQueryState] = []
+        self._live_matrix = np.zeros(
+            (num_connections, simulator.perf.featurizer.feature_dim), dtype=np.float64
+        )
+        self._live_submit = np.zeros(num_connections, dtype=np.float64)
 
     # -- protocol properties ------------------------------------------- #
     @property
@@ -199,6 +236,7 @@ class SimulatedSession:
                 raise SimulationError(f"query {query_id} is not pending and cannot be deferred")
             self.pending.remove(query_id)
             self.deferred.append(query_id)
+            self.state_arrays.mark_deferred(query_id)
 
     def release(self, query_id: int) -> None:
         """Mark a deferred query as arrived: it becomes pending at the current time."""
@@ -206,6 +244,7 @@ class SimulatedSession:
             raise SimulationError(f"query {query_id} is not deferred")
         self.deferred.remove(query_id)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
 
     def unarrived_ids(self) -> "tuple[int, ...]":
         """Query ids present in the round but not yet arrived (deferred)."""
@@ -223,7 +262,7 @@ class SimulatedSession:
         self._idle -= 1
         connection = self.num_connections - self._idle - 1
         self.pending.remove(query_id)
-        self.running[query_id] = RunningQueryState(
+        state = RunningQueryState(
             query=self.batch[query_id],
             parameters=parameters,
             connection=connection,
@@ -231,6 +270,12 @@ class SimulatedSession:
             remaining_work=1.0,
             total_work=1.0,
         )
+        self.running[query_id] = state
+        slot = len(self._live_states)
+        self._live_matrix[slot] = self._feature_row(state)
+        self._live_submit[slot] = self.current_time
+        self._live_states.append(state)
+        self.state_arrays.mark_running(query_id, self.current_time)
         return connection
 
     def _feature_row(self, state: RunningQueryState) -> np.ndarray:
@@ -243,7 +288,7 @@ class SimulatedSession:
         query_id = state.query.query_id
         row = self._feature_rows.get(query_id)
         if row is None:
-            row = self.simulator._features([query_id], [state.parameters], [0.0])[0]
+            row = self.simulator.cached_feature_row(query_id, state.parameters)
             self._feature_rows[query_id] = row
         return row
 
@@ -251,15 +296,17 @@ class SimulatedSession:
         """Current running states and their ``(k, feature_dim)`` model input.
 
         Exposed separately from :meth:`advance` so the vectorized engine can
-        stack the features of many sessions into one batched prediction.
+        stack the features of many sessions into one batched prediction.  The
+        feature matrix is a view of the live-query buffer, valid until the
+        next ``submit``/``apply_advance`` on this session.
         """
         if not self.running:
             raise SimulationError("cannot advance: no query running in the simulator")
-        states = list(self.running.values())
-        features = np.stack([self._feature_row(state) for state in states], axis=0)
-        elapsed = np.array([self.current_time - s.submit_time for s in states])
+        k = len(self._live_states)
+        features = self._live_matrix[:k]
+        elapsed = self.current_time - self._live_submit[:k]
         features[:, self.simulator.elapsed_column] = np.tanh(elapsed / _TIME_SCALE)
-        return states, features
+        return list(self._live_states), features
 
     def advance(self, limit: float | None = None) -> CompletionEvent | None:
         """Predict the earliest finisher and move the clock to its finish time.
@@ -294,8 +341,17 @@ class SimulatedSession:
         state = states[index]
         query_id = state.query.query_id
         del self.running[query_id]
+        for slot, live in enumerate(self._live_states):
+            if live.query.query_id == query_id:
+                del self._live_states[slot]
+                k = len(self._live_states)
+                if slot < k:
+                    self._live_matrix[slot:k] = self._live_matrix[slot + 1 : k + 1]
+                    self._live_submit[slot:k] = self._live_submit[slot + 1 : k + 1]
+                break
         self._idle += 1
         self.finished[query_id] = self.current_time
+        self.state_arrays.mark_finished(query_id)
         self.log.add(
             QueryExecutionRecord(
                 query_id=query_id,

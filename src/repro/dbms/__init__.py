@@ -14,6 +14,7 @@ from .faults import (
 from .logs import ConcurrencySnapshot, ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import ConfigurationSpace, RunningParameters
 from .profiles import DBMSProfile
+from .soa import SessionStateArrays
 
 __all__ = [
     "BufferPool",
@@ -37,4 +38,5 @@ __all__ = [
     "ConfigurationSpace",
     "RunningParameters",
     "DBMSProfile",
+    "SessionStateArrays",
 ]

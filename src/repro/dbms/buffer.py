@@ -23,6 +23,10 @@ class BufferPool:
         self.capacity_rows = float(capacity_rows)
         self._resident: dict[str, float] = {}
         self._last_touch: dict[str, float] = {}
+        #: Bumped on every content change; engine sessions key their
+        #: progress-rate memo on it (cached fractions depend only on
+        #: ``_resident``, so an unchanged version means unchanged rates).
+        self.version = 0
 
     @property
     def used_rows(self) -> float:
@@ -41,6 +45,7 @@ class BufferPool:
         current = self._resident.get(table, 0.0)
         self._resident[table] = min(self.capacity_rows, max(current, min(rows, self.capacity_rows)))
         self._last_touch[table] = now
+        self.version += 1
         self._evict_if_needed()
 
     def _evict_if_needed(self) -> None:
@@ -59,6 +64,7 @@ class BufferPool:
         """Drop all cached contents (cold start for a new scheduling round)."""
         self._resident.clear()
         self._last_touch.clear()
+        self.version += 1
 
     def resident_tables(self) -> dict[str, float]:
         """Snapshot of resident rows per table."""

@@ -44,6 +44,7 @@ from .faults import FailureProfile
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import RunningParameters
 from .profiles import DBMSProfile
+from .soa import SessionStateArrays
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import ServiceConfig
@@ -124,6 +125,11 @@ class ClusterSession:
             self._connection_offsets.append(offset)
             offset += session.num_connections
         self.num_connections = offset
+        #: Cluster-level SoA mirror of the observable per-query state.  Kept
+        #: separate from the per-instance session arrays: a tied completion
+        #: buffered in ``_instance_events`` has already left its instance's
+        #: running set but is still observably RUNNING here until delivered.
+        self.state_arrays = SessionStateArrays(len(batch))
 
     # ------------------------------------------------------------------ #
     # Cluster topology
@@ -164,6 +170,7 @@ class ClusterSession:
             raise SchedulingError(f"query {query_id} is not running and cannot be cancelled")
         connection = self.sessions[instance].cancel(query_id)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
         return self._connection_offsets[instance] + connection
 
     def mark_failed(self, query_id: int) -> None:
@@ -175,6 +182,7 @@ class ClusterSession:
         else:
             raise SchedulingError(f"query {query_id} is not pending/deferred and cannot be failed")
         self.failed[query_id] = self.current_time
+        self.state_arrays.mark_failed(query_id)
 
     def instance_num_running(self) -> list[int]:
         """Fleet-wide running-query count per instance (all tenants).
@@ -284,12 +292,14 @@ class ClusterSession:
                 raise SchedulingError(f"query {query_id} is not pending and cannot be deferred")
             self.pending.remove(query_id)
             self.deferred.append(query_id)
+            self.state_arrays.mark_deferred(query_id)
 
     def release(self, query_id: int) -> None:
         if query_id not in self.deferred:
             raise SchedulingError(f"query {query_id} is not deferred")
         self.deferred.remove(query_id)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
 
     def unarrived_ids(self) -> "tuple[int, ...]":
         return tuple(self.deferred)
@@ -316,6 +326,7 @@ class ClusterSession:
         local_connection = session.submit(query_id, parameters)
         self.pending.remove(query_id)
         self._placement[query_id] = instance
+        self.state_arrays.mark_running(query_id, self.current_time)
         return self._connection_offsets[instance] + local_connection
 
     def advance(self, limit: float | None = None) -> CompletionEvent | None:
@@ -331,19 +342,27 @@ class ClusterSession:
         buffered = self._pop_buffered()
         if buffered is not None:
             return buffered
-        candidates: list[tuple[float, int]] = []
-        for index, session in enumerate(self.sessions):
-            next_time = session.next_completion_time()
-            if next_time is not None:
-                candidates.append((next_time, index))
-        if not candidates:
+        # Vectorized completion merging: one argmin over the per-instance
+        # next-completion instants (idle instances report +inf).  np.argmin
+        # returns the first minimum, which is exactly the lowest-instance
+        # tie-breaking of the former ``min((time, index))`` Python loop —
+        # pure comparisons, no arithmetic, so the pick is bit-identical.
+        next_times = np.array(
+            [
+                time if (time := session.next_completion_time()) is not None else np.inf
+                for session in self.sessions
+            ],
+            dtype=np.float64,
+        )
+        winner = int(np.argmin(next_times))
+        winner_time = float(next_times[winner])
+        if not np.isfinite(winner_time):
             if limit is None:
                 raise SimulationError("cannot advance: no query is running")
             for session in self.sessions:
                 session.advance(limit=limit)
             self.current_time = max(self.current_time, limit)
             return None
-        winner_time, winner = min(candidates)
         if limit is not None and winner_time > limit:
             for session in self.sessions:
                 session.advance(limit=limit)
@@ -352,6 +371,14 @@ class ClusterSession:
         event = self.sessions[winner].advance()
         assert event is not None
         winner_record = None if event.failed else self.sessions[winner].log.records[-1]
+        if event.failed:
+            # An outage can kill several in-flight queries at once; only the
+            # first failure is delivered now, but every victim is already
+            # back in the instance's pending set — demote them in the
+            # observable-state arrays so snapshots taken before their events
+            # drain report them as pending, matching the AoS view.
+            for victim in self.sessions[winner].buffered_failure_ids():
+                self.state_arrays.mark_pending(victim)
         for index, session in enumerate(self.sessions):
             if index == winner:
                 continue
@@ -362,6 +389,10 @@ class ClusterSession:
                 if tied is None:
                     break
                 tied_record = None if tied.failed else session.log.records[-1]
+                if tied.failed:
+                    # Failed attempts carry no record: the query is back in
+                    # the instance's pending set and observably pending now.
+                    self.state_arrays.mark_pending(tied.query_id)
                 self._instance_events[index].append((tied, tied_record))
         self.current_time = winner_time
         return self._record(event, winner_record, winner)
@@ -383,6 +414,7 @@ class ClusterSession:
             # cluster-level pending set (the instance session already holds
             # it pending) and the failure propagates with globalised ids.
             self.pending.append(event.query_id)
+            self.state_arrays.mark_pending(event.query_id)
             return CompletionEvent(
                 query_id=event.query_id,
                 finish_time=event.finish_time,
@@ -393,6 +425,7 @@ class ClusterSession:
             )
         assert local is not None
         self.finished[event.query_id] = event.finish_time
+        self.state_arrays.mark_finished(event.query_id)
         self.log.add(
             QueryExecutionRecord(
                 query_id=local.query_id,

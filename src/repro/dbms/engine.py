@@ -36,6 +36,7 @@ from .faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile,
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import RunningParameters
 from .profiles import DBMSProfile
+from .soa import SessionStateArrays
 
 __all__ = ["DatabaseEngine", "ExecutionSession", "RunningQueryState", "CompletionEvent"]
 
@@ -146,6 +147,15 @@ class ExecutionSession:
         self._windows = faults.windows_for(instance) if faults is not None else ()
         self._fates: dict[int, QueryFate] = {}
         self._fault_events: list[CompletionEvent] = []
+        #: SoA mirror of the observable per-query state, updated O(1) per
+        #: transition; the environment's fast snapshot path reads it.
+        self.state_arrays = SessionStateArrays(len(batch))
+        # Progress rates depend only on the running set (which queries, with
+        # which parameters) and the buffer contents — never on remaining work
+        # or the clock — so next_completion_time/advance pairs reuse one
+        # computation.  Version counters invalidate the memo.
+        self._running_version = 0
+        self._rates_cache: tuple[tuple[int, int], dict[int, float]] | None = None
         # Per-query noise factors drawn once per round: the same query can be
         # faster or slower in different rounds regardless of the schedule.
         self._noise = {
@@ -218,6 +228,8 @@ class ExecutionSession:
         self._idle_connections.sort()
         self._fates.pop(query_id, None)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
+        self._running_version += 1
         return state.connection
 
     def mark_failed(self, query_id: int) -> None:
@@ -229,6 +241,7 @@ class ExecutionSession:
         else:
             raise SchedulingError(f"query {query_id} is not pending/deferred and cannot be failed")
         self.failed[query_id] = self.current_time
+        self.state_arrays.mark_failed(query_id)
 
     def _outage_kill_instant(self, until: float) -> float | None:
         """Earliest instant in ``(now, until]`` at which running work must die."""
@@ -248,6 +261,7 @@ class ExecutionSession:
             self._idle_connections.append(state.connection)
             self._fates.pop(query_id, None)
             self.pending.append(query_id)
+            self.state_arrays.mark_pending(query_id)
             self._fault_events.append(
                 CompletionEvent(
                     query_id=query_id,
@@ -258,6 +272,17 @@ class ExecutionSession:
                 )
             )
         self._idle_connections.sort()
+        self._running_version += 1
+
+    def buffered_failure_ids(self) -> list[int]:
+        """Ids of killed queries whose failure events are still undelivered.
+
+        After an outage kill, :meth:`advance` returns the buffered failures
+        one at a time; until delivery the victims sit in the pending set.  A
+        :class:`~repro.dbms.cluster.ClusterSession` reads this to demote its
+        own observable-state arrays for victims beyond the first.
+        """
+        return [event.query_id for event in self._fault_events]
 
     def pending_queries(self) -> list[Query]:
         return [self.batch[i] for i in self.pending]
@@ -278,6 +303,7 @@ class ExecutionSession:
                 raise SchedulingError(f"query {query_id} is not pending and cannot be deferred")
             self.pending.remove(query_id)
             self.deferred.append(query_id)
+            self.state_arrays.mark_deferred(query_id)
 
     def release(self, query_id: int) -> None:
         """Mark a deferred query as arrived: it becomes pending at the current time."""
@@ -285,6 +311,7 @@ class ExecutionSession:
             raise SchedulingError(f"query {query_id} is not deferred")
         self.deferred.remove(query_id)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
 
     def unarrived_ids(self) -> "tuple[int, ...]":
         """Query ids present in the round but not yet arrived (deferred)."""
@@ -325,6 +352,8 @@ class ExecutionSession:
             remaining_work=noisy_work,
             total_work=noisy_work,
         )
+        self.state_arrays.mark_running(query_id, self.current_time)
+        self._running_version += 1
         return connection
 
     def next_completion_time(self) -> float | None:
@@ -395,12 +424,14 @@ class ExecutionSession:
         state = self.running.pop(finishing_id)
         self._idle_connections.append(state.connection)
         self._idle_connections.sort()
+        self._running_version += 1
         fate = self._fates.pop(finishing_id, None)
         if fate is not None and fate.error:
             # The attempt errored out after consuming its (truncated) work:
             # the connection frees, nothing is logged, and the query returns
             # to pending for the caller's retry machinery to resubmit.
             self.pending.append(finishing_id)
+            self.state_arrays.mark_pending(finishing_id)
             return CompletionEvent(
                 query_id=finishing_id,
                 finish_time=self.current_time,
@@ -409,6 +440,7 @@ class ExecutionSession:
                 failure=FAILURE_ERROR,
             )
         self.finished[finishing_id] = self.current_time
+        self.state_arrays.mark_finished(finishing_id)
         for table, rows in state.query.tables.items():
             self.buffer.touch(table, rows, self.current_time)
         self.log.add(
@@ -433,7 +465,23 @@ class ExecutionSession:
     # Fluid model internals
     # ------------------------------------------------------------------ #
     def _progress_rates(self) -> dict[int, float]:
-        """Work-per-second rate of every running query under current load."""
+        """Work-per-second rate of every running query under current load.
+
+        Memoized on (running-set version, buffer version): rates depend only
+        on *which* queries run with *which* parameters and on the buffer
+        contents — never on remaining work or the clock — so the
+        ``next_completion_time``/``advance`` double-compute (and every
+        idle-forward peer advance in cluster merging) reuses one computation.
+        The exact per-call float arithmetic is unchanged.
+        """
+        key = (self._running_version, self.buffer.version)
+        if self._rates_cache is not None and self._rates_cache[0] == key:
+            return self._rates_cache[1]
+        rates = self._compute_progress_rates()
+        self._rates_cache = (key, rates)
+        return rates
+
+    def _compute_progress_rates(self) -> dict[int, float]:
         states = list(self.running.values())
         if not states:
             return {}

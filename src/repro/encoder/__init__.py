@@ -1,7 +1,13 @@
 """Query and state encoders: QueryFormer plan encoder + attention-based state."""
 
 from .queryformer import PlanEmbeddingCache, QueryFormer
-from .run_state import QueryRuntimeInfo, QueryStatus, RunStateFeaturizer, SchedulingSnapshot
+from .run_state import (
+    QueryRuntimeInfo,
+    QueryStatus,
+    RunStateFeaturizer,
+    SchedulingSnapshot,
+    SnapshotArrays,
+)
 from .state import BatchedStateRepresentation, StateEncoder, StateRepresentation
 
 __all__ = [
@@ -11,6 +17,7 @@ __all__ = [
     "QueryStatus",
     "RunStateFeaturizer",
     "SchedulingSnapshot",
+    "SnapshotArrays",
     "StateEncoder",
     "StateRepresentation",
     "BatchedStateRepresentation",

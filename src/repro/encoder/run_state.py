@@ -10,12 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 
 import numpy as np
 
 from ..exceptions import SchedulingError
 
-__all__ = ["QueryStatus", "QueryRuntimeInfo", "SchedulingSnapshot", "RunStateFeaturizer"]
+__all__ = [
+    "QueryStatus",
+    "QueryRuntimeInfo",
+    "SchedulingSnapshot",
+    "SnapshotArrays",
+    "RunStateFeaturizer",
+]
 
 
 class QueryStatus(str, Enum):
@@ -98,7 +105,7 @@ class SchedulingSnapshot:
     def ids_with_status(self, status: QueryStatus) -> list[int]:
         return [info.query_id for info in self.infos if info.status is status]
 
-    @property
+    @cached_property
     def pending_ids(self) -> list[int]:
         """Ids of queries that are pending *and* available for submission.
 
@@ -106,6 +113,9 @@ class SchedulingSnapshot:
         reported as pending but unavailable; they are excluded here so that
         schedulers iterating the pending set only ever pick schedulable
         queries.  Closed batches (everything available) are unaffected.
+
+        Cached: snapshots are immutable, so hot loops that read the pending
+        set several times per decision step pay the O(n) scan once.
         """
         return [
             info.query_id
@@ -113,21 +123,166 @@ class SchedulingSnapshot:
             if info.status is QueryStatus.PENDING and info.available
         ]
 
-    @property
+    @cached_property
     def unarrived_ids(self) -> list[int]:
         """Ids of queries that have not yet arrived (streaming scenario)."""
         return [info.query_id for info in self.infos if not info.available]
 
-    @property
+    @cached_property
     def running_ids(self) -> list[int]:
         return self.ids_with_status(QueryStatus.RUNNING)
 
-    @property
+    @cached_property
     def finished_ids(self) -> list[int]:
         return self.ids_with_status(QueryStatus.FINISHED)
 
 
 _STATUS_ORDER = {QueryStatus.PENDING: 0, QueryStatus.RUNNING: 1, QueryStatus.FINISHED: 2}
+_STATUS_FROM_CODE = (QueryStatus.PENDING, QueryStatus.RUNNING, QueryStatus.FINISHED)
+
+
+class SnapshotArrays:
+    """Structure-of-arrays twin of :class:`SchedulingSnapshot`.
+
+    Hot loops (vectorized rollouts, the serving runtime) build one of these
+    per decision step from incrementally-maintained session arrays instead of
+    materializing ``n`` frozen :class:`QueryRuntimeInfo` objects; the
+    featurizer consumes the columns directly (:meth:`RunStateFeaturizer.
+    featurize_arrays`) with zero per-query Python work.
+
+    The class duck-types the read API of :class:`SchedulingSnapshot`
+    (``time`` / ``infos`` / ``pending_ids`` / ``running_ids`` / …), so
+    schedulers, policies and tests written against the AoS snapshot work
+    unchanged — the object-level view is built lazily and cached on first
+    access.  Array columns use the observable status codes of
+    ``_STATUS_ORDER`` (0 = pending, 1 = running, 2 = finished).
+    """
+
+    __slots__ = (
+        "time",
+        "status",
+        "config_index",
+        "elapsed",
+        "expected_time",
+        "available",
+        "time_to_available",
+        "attempts",
+        "instance_context_array",
+        "instance_health_array",
+        "_infos",
+        "_pending_ids",
+        "_unarrived_ids",
+        "_running_ids",
+        "_finished_ids",
+        "_snapshot",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        status: np.ndarray,
+        config_index: np.ndarray,
+        elapsed: np.ndarray,
+        expected_time: np.ndarray,
+        available: np.ndarray,
+        time_to_available: np.ndarray,
+        attempts: np.ndarray,
+        instance_context_array: np.ndarray | None = None,
+        instance_health_array: np.ndarray | None = None,
+    ) -> None:
+        self.time = time
+        self.status = status
+        self.config_index = config_index
+        self.elapsed = elapsed
+        self.expected_time = expected_time
+        self.available = available
+        self.time_to_available = time_to_available
+        self.attempts = attempts
+        self.instance_context_array = instance_context_array
+        self.instance_health_array = instance_health_array
+        self._infos: tuple[QueryRuntimeInfo, ...] | None = None
+        self._pending_ids: list[int] | None = None
+        self._unarrived_ids: list[int] | None = None
+        self._running_ids: list[int] | None = None
+        self._finished_ids: list[int] | None = None
+        self._snapshot: SchedulingSnapshot | None = None
+
+    # ------------------------------------------------------------------ #
+    # SchedulingSnapshot read API (lazy, cached)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_queries(self) -> int:
+        return int(self.status.shape[0])
+
+    @property
+    def infos(self) -> tuple[QueryRuntimeInfo, ...]:
+        if self._infos is None:
+            self._infos = tuple(
+                QueryRuntimeInfo(
+                    query_id=i,
+                    status=_STATUS_FROM_CODE[code],
+                    config_index=int(self.config_index[i]),
+                    elapsed=float(self.elapsed[i]),
+                    expected_time=float(self.expected_time[i]),
+                    available=bool(self.available[i]),
+                    time_to_available=float(self.time_to_available[i]),
+                    attempts=int(self.attempts[i]),
+                )
+                for i, code in enumerate(self.status.tolist())
+            )
+        return self._infos
+
+    @property
+    def instance_context(self) -> tuple[tuple[float, ...], ...]:
+        if self.instance_context_array is None:
+            return ()
+        return tuple(tuple(row) for row in self.instance_context_array.tolist())
+
+    @property
+    def instance_health(self) -> tuple[bool, ...]:
+        if self.instance_health_array is None:
+            return ()
+        return tuple(bool(flag) for flag in self.instance_health_array.tolist())
+
+    def ids_with_status(self, status: QueryStatus) -> list[int]:
+        code = _STATUS_ORDER[status]
+        result: list[int] = np.nonzero(self.status == code)[0].tolist()
+        return result
+
+    @property
+    def pending_ids(self) -> list[int]:
+        if self._pending_ids is None:
+            self._pending_ids = np.nonzero((self.status == 0) & self.available)[0].tolist()
+        return self._pending_ids
+
+    @property
+    def unarrived_ids(self) -> list[int]:
+        if self._unarrived_ids is None:
+            self._unarrived_ids = np.nonzero(~self.available)[0].tolist()
+        return self._unarrived_ids
+
+    @property
+    def running_ids(self) -> list[int]:
+        if self._running_ids is None:
+            self._running_ids = np.nonzero(self.status == 1)[0].tolist()
+        return self._running_ids
+
+    @property
+    def finished_ids(self) -> list[int]:
+        if self._finished_ids is None:
+            self._finished_ids = np.nonzero(self.status == 2)[0].tolist()
+        return self._finished_ids
+
+    def to_snapshot(self) -> SchedulingSnapshot:
+        """The equivalent AoS :class:`SchedulingSnapshot` (built once, cached)."""
+        if self._snapshot is None:
+            self._snapshot = SchedulingSnapshot(
+                time=self.time,
+                infos=self.infos,
+                instance_context=self.instance_context,
+                instance_health=self.instance_health,
+            )
+        return self._snapshot
 
 
 class RunStateFeaturizer:
@@ -191,8 +346,7 @@ class RunStateFeaturizer:
 
     def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
         vector = np.zeros(self.feature_dim, dtype=np.float64)
-        status_index = [QueryStatus.PENDING, QueryStatus.RUNNING, QueryStatus.FINISHED].index(info.status)
-        vector[status_index] = 1.0
+        vector[_STATUS_ORDER[info.status]] = 1.0
         if info.config_index >= 0:
             if info.config_index >= self.num_configs:
                 raise SchedulingError(
@@ -222,13 +376,16 @@ class RunStateFeaturizer:
             row = flat
         return row
 
-    def featurize_snapshot(self, snapshot: SchedulingSnapshot) -> np.ndarray:
+    def featurize_snapshot(self, snapshot: "SchedulingSnapshot | SnapshotArrays") -> np.ndarray:
         """Return the ``(n, feature_dim)`` matrix of running-state features.
 
         Vectorized over the whole snapshot (one array op per feature channel
         instead of one Python call per query); produces bit-identical rows to
-        :meth:`featurize`.
+        :meth:`featurize`.  :class:`SnapshotArrays` snapshots dispatch to the
+        zero-extraction :meth:`featurize_arrays` fast path.
         """
+        if isinstance(snapshot, SnapshotArrays):
+            return self.featurize_arrays(snapshot)
         infos = snapshot.infos
         n = len(infos)
         features = np.zeros((n, self.feature_dim), dtype=np.float64)
@@ -253,3 +410,93 @@ class RunStateFeaturizer:
         if self.instance_context_dim:
             features[:, self.feature_dim - self.instance_context_dim :] = self._context_row(snapshot)
         return features
+
+    def featurize_arrays(self, arrays: SnapshotArrays, out: "np.ndarray | None" = None) -> np.ndarray:
+        """Vectorized featurization straight from :class:`SnapshotArrays`.
+
+        No per-query extraction at all: every feature channel is one array op
+        over the incrementally-maintained session columns.  Bit-identical to
+        :meth:`featurize_snapshot` on the equivalent AoS snapshot (the same
+        float64 ops run on the same values).  ``out``, when given, must be a
+        float64 ``(n, feature_dim)`` buffer; it is zeroed and filled in place
+        so batched callers can featurize straight into a stacked tensor.
+        """
+        n = arrays.num_queries
+        if out is None:
+            features = np.zeros((n, self.feature_dim), dtype=np.float64)
+        else:
+            features = out
+            features[:] = 0.0
+        features[np.arange(n), arrays.status.astype(np.int64, copy=False)] = 1.0
+        config_index = arrays.config_index
+        if (config_index >= self.num_configs).any():
+            bad = int(config_index[config_index >= self.num_configs][0])
+            raise SchedulingError(f"config index {bad} out of range (num_configs={self.num_configs})")
+        has_config = config_index >= 0
+        features[np.nonzero(has_config)[0], 3 + config_index[has_config]] = 1.0
+        features[:, 3 + self.num_configs] = np.tanh(arrays.elapsed / self.time_scale)
+        features[:, 3 + self.num_configs + 1] = np.tanh(arrays.expected_time / self.time_scale)
+        if self.arrival_channel:
+            features[:, 3 + self.num_configs + 2] = np.tanh(arrays.time_to_available / self.time_scale)
+        if self.failure_channel:
+            attempts = arrays.attempts.astype(np.float64, copy=False)
+            features[:, self._failure_slot] = np.tanh(attempts / 3.0)
+        if self.instance_context_dim:
+            context = arrays.instance_context_array
+            row = np.zeros(self.instance_context_dim, dtype=np.float64)
+            if context is not None and context.size:
+                flat = np.ascontiguousarray(context, dtype=np.float64).reshape(-1)
+                if flat.shape[0] != self.instance_context_dim:
+                    raise SchedulingError(
+                        f"snapshot instance context has {flat.shape[0]} entries, "
+                        f"featurizer expects {self.instance_context_dim}"
+                    )
+                row = flat
+            features[:, self.feature_dim - self.instance_context_dim :] = row
+        return features
+
+    def featurize_arrays_stack(self, stack: "list[SnapshotArrays]", out: np.ndarray) -> np.ndarray:
+        """Featurize a whole stack of :class:`SnapshotArrays` in one pass.
+
+        ``out`` is a float64 ``(len(stack), n, feature_dim)`` buffer.  Every
+        channel runs one array op over the ``(batch, n)`` stack instead of
+        one per snapshot; each plane is bit-identical to
+        :meth:`featurize_arrays` on the corresponding snapshot (the same
+        elementwise ufuncs on the same values, just stacked).
+        """
+        batch = len(stack)
+        out[:] = 0.0
+        rows = np.arange(batch)[:, None]
+        cols = np.arange(stack[0].num_queries)[None, :]
+        status = np.stack([arrays.status for arrays in stack]).astype(np.int64, copy=False)
+        out[rows, cols, status] = 1.0
+        config_index = np.stack([arrays.config_index for arrays in stack])
+        if (config_index >= self.num_configs).any():
+            bad = int(config_index[config_index >= self.num_configs][0])
+            raise SchedulingError(f"config index {bad} out of range (num_configs={self.num_configs})")
+        has_config = config_index >= 0
+        bi, qi = np.nonzero(has_config)
+        out[bi, qi, 3 + config_index[bi, qi]] = 1.0
+        elapsed = np.stack([arrays.elapsed for arrays in stack])
+        expected = np.stack([arrays.expected_time for arrays in stack])
+        out[:, :, 3 + self.num_configs] = np.tanh(elapsed / self.time_scale)
+        out[:, :, 3 + self.num_configs + 1] = np.tanh(expected / self.time_scale)
+        if self.arrival_channel:
+            to_available = np.stack([arrays.time_to_available for arrays in stack])
+            out[:, :, 3 + self.num_configs + 2] = np.tanh(to_available / self.time_scale)
+        if self.failure_channel:
+            attempts = np.stack([arrays.attempts for arrays in stack]).astype(np.float64, copy=False)
+            out[:, :, self._failure_slot] = np.tanh(attempts / 3.0)
+        if self.instance_context_dim:
+            offset = self.feature_dim - self.instance_context_dim
+            for index, arrays in enumerate(stack):
+                context = arrays.instance_context_array
+                if context is not None and context.size:
+                    flat = np.ascontiguousarray(context, dtype=np.float64).reshape(-1)
+                    if flat.shape[0] != self.instance_context_dim:
+                        raise SchedulingError(
+                            f"snapshot instance context has {flat.shape[0]} entries, "
+                            f"featurizer expects {self.instance_context_dim}"
+                        )
+                    out[index, :, offset:] = flat
+        return out

@@ -28,7 +28,7 @@ import numpy as np
 from ..config import EncoderConfig
 from ..nn import AttentionEncoder, MLP, Module, Parameter, Tensor, concatenate, fastinfer
 from ..nn import init as weight_init
-from .run_state import RunStateFeaturizer, SchedulingSnapshot
+from .run_state import RunStateFeaturizer, SchedulingSnapshot, SnapshotArrays
 
 __all__ = ["StateRepresentation", "BatchedStateRepresentation", "StateEncoder"]
 
@@ -155,32 +155,71 @@ class StateEncoder(Module):
         return StateRepresentation(per_query=per_query, global_state=global_state)
 
     def _batch_inputs(
-        self, plan_embeddings: np.ndarray, snapshots: "list[SchedulingSnapshot]"
+        self,
+        plan_embeddings: np.ndarray,
+        snapshots: "list[SchedulingSnapshot]",
+        input_dtype: "type | None" = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Shared featurisation for the batched paths.
 
         Returns ``(inputs, run_features, pooled_all, pooled_running)`` where
         ``inputs`` is the ``(batch, n, plan+feature)`` token input and the
-        pooled arrays are the fixed-width running-state summaries.
+        pooled arrays are the fixed-width running-state summaries.  Both
+        tensors are preallocated and filled in place — array-backed snapshots
+        featurize straight into the stacked buffer, and ``input_dtype``
+        (e.g. ``np.float32`` for the sampling path) casts token inputs during
+        assembly instead of through a separate ``astype`` copy; per-element
+        rounding is identical either way.
         """
         if not snapshots:
             raise ValueError("encode_batch needs at least one snapshot")
-        run_features = np.stack(
-            [self.run_state_featurizer.featurize_snapshot(snapshot) for snapshot in snapshots], axis=0
-        )
-        batch, num_queries = run_features.shape[0], run_features.shape[1]
+        featurizer = self.run_state_featurizer
+        batch = len(snapshots)
+        first = snapshots[0]
+        num_queries = first.num_queries if isinstance(first, SnapshotArrays) else len(first.infos)
         if plan_embeddings.shape[0] != num_queries:
             raise ValueError("plan embeddings and snapshots must cover the same queries")
-        plans = np.broadcast_to(plan_embeddings[None, :, :], (batch,) + plan_embeddings.shape)
-        inputs = np.concatenate([plans, run_features], axis=2)
+        run_features = np.empty((batch, num_queries, featurizer.feature_dim), dtype=np.float64)
+        all_arrays = all(isinstance(snapshot, SnapshotArrays) for snapshot in snapshots)
+        if all_arrays:
+            featurizer.featurize_arrays_stack(snapshots, out=run_features)
+        else:
+            for index, snapshot in enumerate(snapshots):
+                if isinstance(snapshot, SnapshotArrays):
+                    featurizer.featurize_arrays(snapshot, out=run_features[index])
+                else:
+                    run_features[index] = featurizer.featurize_snapshot(snapshot)
+        plan_dim = plan_embeddings.shape[1]
+        inputs = np.empty(
+            (batch, num_queries, plan_dim + featurizer.feature_dim),
+            dtype=input_dtype if input_dtype is not None else np.float64,
+        )
+        inputs[:, :, :plan_dim] = plan_embeddings
+        inputs[:, :, plan_dim:] = run_features
         pooled_all = np.concatenate([run_features.mean(axis=1), run_features.max(axis=1)], axis=1)
-        pooled_running = np.empty_like(pooled_all)
-        for index, snapshot in enumerate(snapshots):
-            running_ids = snapshot.running_ids
-            if running_ids:
-                pooled_running[index] = self._pool(run_features[index][running_ids])
-            else:
-                pooled_running[index] = 0.0
+        if all_arrays and input_dtype is np.float32:
+            # Sampling path: one masked reduction over the (batch, n) stack
+            # instead of a fancy-indexed _pool call per snapshot.  The masked
+            # mean sums over the full row (zeros where not running), which
+            # reorders the float64 accumulation relative to the per-subset
+            # mean — rounding-level differences the sampling path tolerates;
+            # the learning path below keeps the exact per-snapshot pooling.
+            running = np.stack([snapshot.status for snapshot in snapshots]) == 1
+            counts = running.sum(axis=1)
+            weights = running[:, :, None]
+            means = (run_features * weights).sum(axis=1)
+            means /= np.maximum(counts, 1)[:, None]
+            maxes = np.where(weights, run_features, -np.inf).max(axis=1)
+            pooled_running = np.concatenate([means, maxes], axis=1)
+            pooled_running[counts == 0] = 0.0
+        else:
+            pooled_running = np.empty_like(pooled_all)
+            for index, snapshot in enumerate(snapshots):
+                running_ids = snapshot.running_ids
+                if running_ids:
+                    pooled_running[index] = self._pool(run_features[index][running_ids])
+                else:
+                    pooled_running[index] = 0.0
         return inputs, run_features, pooled_all, pooled_running
 
     def encode_batch(
@@ -223,9 +262,10 @@ class StateEncoder(Module):
         forward stay float64).  BatchNorm running statistics are updated as
         in the tensor forward (see :mod:`repro.nn.fastinfer`).
         """
-        inputs, run_features, pooled_all, pooled_running = self._batch_inputs(plan_embeddings, snapshots)
+        inputs, run_features, pooled_all, pooled_running = self._batch_inputs(
+            plan_embeddings, snapshots, input_dtype=np.float32
+        )
         batch, num_queries = run_features.shape[0], run_features.shape[1]
-        inputs = inputs.astype(np.float32)
         pooled_all = pooled_all.astype(np.float32)
         pooled_running = pooled_running.astype(np.float32)
         tokens = fastinfer.mlp_forward(self.query_mlp, inputs)

@@ -61,10 +61,25 @@ def _param(array: np.ndarray, like: np.ndarray) -> np.ndarray:
 
 
 def linear_forward(layer: Linear, x: np.ndarray) -> np.ndarray:
-    """``y = x W + b`` without tape bookkeeping (dtype follows ``x``)."""
-    out = x @ _param(layer.weight.data, x)
+    """``y = x W + b`` without tape bookkeeping (dtype follows ``x``).
+
+    Batched ``(batch, tokens, dim)`` inputs in the float32 *sampling* path
+    are flattened to one ``(batch*tokens, dim)`` GEMM: NumPy would otherwise
+    loop ``batch`` tiny BLAS calls, and for rollout-sized tensors the
+    per-call overhead dwarfs the arithmetic.  The float64 path keeps the
+    strided form untouched — BLAS may pick a different kernel for the merged
+    shape, and the simulator's ``predict_batched`` promises bit-identical
+    rows to the sequential forward.  Sampling only promises tolerance-level
+    agreement with the scalar tensor path, so the relayout is safe there.
+    """
+    weight = _param(layer.weight.data, x)
+    if x.ndim == 3 and x.dtype == np.float32:
+        batch, tokens, dim = x.shape
+        out = (x.reshape(batch * tokens, dim) @ weight).reshape(batch, tokens, weight.shape[1])
+    else:
+        out = x @ weight
     if layer.bias is not None:
-        out = out + _param(layer.bias.data, x)
+        out += _param(layer.bias.data, x)
     return out
 
 
@@ -99,7 +114,9 @@ def layer_norm_forward(norm: LayerNorm, x: np.ndarray) -> np.ndarray:
     centered = x - mu
     var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
     normed = centered / ((var + norm.eps) ** 0.5)
-    return normed * _param(norm.gamma.data, x) + _param(norm.beta.data, x)
+    np.multiply(normed, _param(norm.gamma.data, x), out=normed)
+    normed += _param(norm.beta.data, x)
+    return normed
 
 
 def batch_norm_forward(norm: BatchNorm, x: np.ndarray) -> np.ndarray:
@@ -109,6 +126,7 @@ def batch_norm_forward(norm: BatchNorm, x: np.ndarray) -> np.ndarray:
     Running statistics are always accumulated in float64, even when the
     working dtype is float32 (the vectorized sampling path).
     """
+    centered = None
     if x.ndim == 3:
         if norm.training and x.shape[1] > 1:
             inv_count = 1.0 / x.shape[1]
@@ -133,8 +151,27 @@ def batch_norm_forward(norm: BatchNorm, x: np.ndarray) -> np.ndarray:
         else:
             mu = _param(norm.running_mean, x).reshape(1, -1)
             var = _param(norm.running_var, x).reshape(1, -1)
-    normed = (x - mu) / ((var + norm.eps) ** 0.5)
-    return normed * _param(norm.gamma.data, x) + _param(norm.beta.data, x)
+    if x.dtype == np.float32:
+        # Sampling path: fold 1/denom and gamma into one per-feature scale so
+        # the big tensor sees two passes (multiply, add) instead of four.  The
+        # reassociation is float32-rounding-level different from the tensor
+        # forward, which the sampling path tolerates; float64 callers (the
+        # simulator's bit-parity path) keep the exact op order below.
+        scale = _param(norm.gamma.data, x) / ((var + norm.eps) ** 0.5)
+        if centered is not None:
+            normed = centered * scale
+            normed += _param(norm.beta.data, x)
+        else:
+            normed = x * scale
+            normed += _param(norm.beta.data, x) - mu * scale
+        return normed
+    # ``centered`` already holds x - mu in the training branches; reusing it
+    # (and applying the affine in place on the fresh quotient) skips two
+    # full-tensor temporaries without changing a single arithmetic op.
+    normed = (centered if centered is not None else x - mu) / ((var + norm.eps) ** 0.5)
+    np.multiply(normed, _param(norm.gamma.data, x), out=normed)
+    normed += _param(norm.beta.data, x)
+    return normed
 
 
 def _norm_forward(norm, x: np.ndarray) -> np.ndarray:
@@ -190,16 +227,26 @@ def attention_forward_batched(
     batch, tokens = x.shape[0], x.shape[1]
     heads, head_dim = attention.num_heads, attention.head_dim
     qkv_weight, qkv_bias = _fused_qkv(attention)
-    qkv = (x @ _param(qkv_weight, x) + _param(qkv_bias, x)).reshape(batch, tokens, 3, heads, head_dim)
+    if x.dtype == np.float32:
+        # Same flatten-to-one-GEMM trick as linear_forward (float32 only).
+        qkv = x.reshape(batch * tokens, x.shape[2]) @ _param(qkv_weight, x)
+        qkv += _param(qkv_bias, x)
+        qkv = qkv.reshape(batch, tokens, 3, heads, head_dim)
+    else:
+        qkv = (x @ _param(qkv_weight, x) + _param(qkv_bias, x)).reshape(batch, tokens, 3, heads, head_dim)
     queries = qkv[:, :, 0].transpose(0, 2, 1, 3)
     keys = qkv[:, :, 1].transpose(0, 2, 1, 3)
     values = qkv[:, :, 2].transpose(0, 2, 1, 3)
     scores = (queries @ keys.transpose(0, 1, 3, 2)) * (1.0 / float(np.sqrt(head_dim)))
     if bias is not None:
         scores = scores + np.asarray(bias, dtype=x.dtype)[None, None, :, :]
-    scores -= scores.max(axis=-1, keepdims=True)
-    np.exp(scores, out=scores)
-    scores /= scores.sum(axis=-1, keepdims=True)
+    # Softmax reductions over a 2-D view of the same contiguous rows: the
+    # last-axis max/sum see identical element sequences, so results match the
+    # 4-D form bit for bit while skipping the high-rank reduce overhead.
+    flat = scores.reshape(batch * heads * tokens, tokens)
+    flat -= flat.max(axis=-1, keepdims=True)
+    np.exp(flat, out=flat)
+    flat /= flat.sum(axis=-1, keepdims=True)
     mixed = (scores @ values).transpose(0, 2, 1, 3).reshape(batch, tokens, attention.model_dim)
     return linear_forward(attention.out_proj, mixed)
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..dbms import INSTANCE_FEATURE_DIM, QueryExecutionRecord, RoundLog, RunningParameters
 from ..dbms.engine import CompletionEvent, RunningQueryState
+from ..dbms.soa import SessionStateArrays
 from ..dbms.faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile, QueryFate
 from ..exceptions import SimulationError
 from ..seeding import SeedSpawner
@@ -202,6 +203,8 @@ class SimulatedClusterSession:
             self._connection_offsets.append(offset)
             offset += int(count)
         self.num_connections = offset
+        #: SoA mirror of the observable per-query state (fast snapshot path).
+        self.state_arrays = SessionStateArrays(len(batch))
 
     # ------------------------------------------------------------------ #
     # Cluster topology
@@ -257,6 +260,7 @@ class SimulatedClusterSession:
         instance.idle += 1
         self._fates.pop(query_id, None)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
         return self._connection_offsets[placed] + state.connection
 
     def mark_failed(self, query_id: int) -> None:
@@ -268,6 +272,7 @@ class SimulatedClusterSession:
         else:
             raise SimulationError(f"query {query_id} is not pending/deferred and cannot be failed")
         self.failed[query_id] = self.current_time
+        self.state_arrays.mark_failed(query_id)
 
     def _kill_instant(self, instance: int, until: float) -> float | None:
         """Earliest instant in ``(now, until]`` at which the instance's work dies."""
@@ -288,6 +293,7 @@ class SimulatedClusterSession:
             instance.idle += 1
             self._fates.pop(query_id, None)
             self.pending.append(query_id)
+            self.state_arrays.mark_pending(query_id)
             self._fault_events.append(
                 CompletionEvent(
                     query_id=query_id,
@@ -368,12 +374,14 @@ class SimulatedClusterSession:
                 raise SimulationError(f"query {query_id} is not pending and cannot be deferred")
             self.pending.remove(query_id)
             self.deferred.append(query_id)
+            self.state_arrays.mark_deferred(query_id)
 
     def release(self, query_id: int) -> None:
         if query_id not in self.deferred:
             raise SimulationError(f"query {query_id} is not deferred")
         self.deferred.remove(query_id)
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
 
     def unarrived_ids(self) -> "tuple[int, ...]":
         return tuple(self.deferred)
@@ -416,6 +424,7 @@ class SimulatedClusterSession:
             remaining_work=1.0,
             total_work=1.0,
         )
+        self.state_arrays.mark_running(query_id, self.current_time)
         return self._connection_offsets[instance] + connection
 
     def _feature_row(self, instance: _SimulatedInstance, state: RunningQueryState) -> np.ndarray:
@@ -507,6 +516,7 @@ class SimulatedClusterSession:
         instance.feature_rows.pop(query_id, None)
         instance.idle += 1
         self.pending.append(query_id)
+        self.state_arrays.mark_pending(query_id)
         return CompletionEvent(
             query_id=query_id,
             finish_time=self.current_time,
@@ -523,6 +533,7 @@ class SimulatedClusterSession:
         instance.feature_rows.pop(query_id, None)
         instance.idle += 1
         self.finished[query_id] = self.current_time
+        self.state_arrays.mark_finished(query_id)
         connection = self._connection_offsets[instance.index] + state.connection
         self.log.add(
             QueryExecutionRecord(

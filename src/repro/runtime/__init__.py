@@ -3,7 +3,9 @@
 The runtime turns the repo's engine↔scheduler coupling from a pull-style
 single-batch loop into an event-queue architecture:
 
-* :class:`EventQueue` orders future events (streaming query arrivals).
+* :class:`EventQueue` orders future events (streaming query arrivals);
+  :class:`CalendarEventQueue` is a drop-in sharded-bucket variant with
+  bit-identical pop order.
 * :class:`ExecutionRuntime` advances the shared backend session (fluid
   engine or learned simulator) to the next completion-or-arrival event and
   dispatches it to the tenant that owns the query.
@@ -25,7 +27,7 @@ from .events import (
     QueryTimeout,
     RuntimeEvent,
 )
-from .queue import EventQueue
+from .queue import CalendarEventQueue, EventQueue
 from .report import ServiceReport, TenantReport
 from .runtime import ExecutionRuntime, RuntimeTenant, TenantSession
 
@@ -38,6 +40,7 @@ __all__ = [
     "QueryTimeout",
     "RetryPolicy",
     "RuntimeEvent",
+    "CalendarEventQueue",
     "EventQueue",
     "ServiceReport",
     "TenantReport",

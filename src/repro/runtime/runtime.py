@@ -55,7 +55,7 @@ from .events import (
     QueryTimeout,
     RuntimeEvent,
 )
-from .queue import EventQueue
+from .queue import CalendarEventQueue, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.faults import FailureProfile
@@ -98,6 +98,7 @@ class ExecutionRuntime:
         backend: Any,
         retry: RetryPolicy | None = None,
         faults: "FailureProfile | None" = None,
+        event_queue: "EventQueue | CalendarEventQueue | None" = None,
     ) -> None:
         self.backend = backend
         self.retry = retry
@@ -105,7 +106,12 @@ class ExecutionRuntime:
         self._tenants: dict[str, _TenantState] = {}
         self._offsets: list[int] = []
         self._order: list[str] = []
-        self.events = EventQueue()
+        #: Scheduled-event queue; callers may inject a
+        #: :class:`~repro.runtime.CalendarEventQueue` — pop order is
+        #: bit-identical, only the per-operation cost profile changes.
+        self.events: "EventQueue | CalendarEventQueue" = (
+            event_queue if event_queue is not None else EventQueue()
+        )
         self._shared: Any = None
         #: Submissions so far per *global* query id (1-based after the first
         #: submit); strictly monotonic — attempt numbers are never reused, so
@@ -258,9 +264,13 @@ class ExecutionRuntime:
             if times is not None:
                 deferred = [state.offset + i for i in range(len(state.batch)) if times[i] > 0.0]
                 self._shared.defer(deferred)
-                for i in range(len(state.batch)):
-                    if times[i] > 0.0:
-                        self.events.push(QueryArrival(time=float(times[i]), tenant=state.name, query_id=i))
+                # Bulk-schedule the round's arrivals: one heapify instead of
+                # one sift-up per deferred query.
+                self.events.extend(
+                    QueryArrival(time=float(times[i]), tenant=state.name, query_id=i)
+                    for i in range(len(state.batch))
+                    if times[i] > 0.0
+                )
 
     def _arrival_times(self, state: _TenantState, round_id: int) -> "np.ndarray | None":
         if state.arrivals is None:
@@ -313,8 +323,12 @@ class ExecutionRuntime:
                 raise self._deadlock_error()
             else:
                 shared.advance(limit=limit)
-            if next_scheduled is not None and next_scheduled <= shared.current_time:
-                event = self._pop_scheduled_event()
+            # Single head access: pops the scheduled event iff it is due
+            # (the queue is untouched between the peek above and here, so
+            # this is exactly the former peek-then-pop pair collapsed).
+            due = self.events.pop_due(shared.current_time)
+            if due is not None:
+                event = self._apply_scheduled_event(due)
                 if event is not None:
                     return event
                 # Stale timeout check: nothing happened — but popping it may
@@ -343,9 +357,8 @@ class ExecutionRuntime:
             f"pending — the round is deadlocked. Undrained tenants: {undrained}"
         )
 
-    def _pop_scheduled_event(self) -> "RuntimeEvent | None":
-        """Pop and apply the earliest scheduled event (``None`` if it was stale)."""
-        event = self.events.pop()
+    def _apply_scheduled_event(self, event: RuntimeEvent) -> "RuntimeEvent | None":
+        """Apply an already-popped scheduled event (``None`` if it was stale)."""
         state = self._tenants[event.tenant]
         assert state.session is not None
         if isinstance(event, QueryArrival):
@@ -543,6 +556,10 @@ class TenantSession:
         self.name = state.name
         self.batch = state.batch
         shared = runtime.shared_session
+        # A tenant session lives exactly one round and the runtime installs
+        # the backend session before constructing its tenants, so the shared
+        # session can be pinned here instead of re-resolved per delegation.
+        self._shared_session = shared
         self.num_connections = shared.num_connections
         self.log = RoundLog(round_id=shared.log.round_id, strategy=shared.log.strategy)
         self._arrival_times = arrival_times
@@ -564,11 +581,33 @@ class TenantSession:
         self.num_failed_attempts = 0
         self.num_timeouts = 0
         self.num_retries = 0
+        # SoA fast-snapshot view: live slices of the shared session's state
+        # arrays scoped to this tenant's global-id range, plus the two
+        # columns only the tenant knows (failed attempts and when a
+        # deferred/retrying query becomes available again).  Backends
+        # without state arrays (e.g. test doubles) leave these ``None`` and
+        # the environment falls back to the AoS snapshot path.
+        shared_arrays = getattr(shared, "state_arrays", None)
+        if shared_arrays is not None:
+            offset = state.offset
+            count = len(state.batch)
+            self.soa_status: "np.ndarray | None" = shared_arrays.status[offset : offset + count]
+            self.soa_submit_time: "np.ndarray | None" = shared_arrays.submit_time[offset : offset + count]
+            self.soa_attempts: "np.ndarray | None" = np.zeros(count, dtype=np.int64)
+            if arrival_times is None:
+                self.soa_available_at: "np.ndarray | None" = np.zeros(count, dtype=np.float64)
+            else:
+                self.soa_available_at = np.asarray(arrival_times, dtype=np.float64).copy()
+        else:
+            self.soa_status = None
+            self.soa_submit_time = None
+            self.soa_attempts = None
+            self.soa_available_at = None
 
     # -- identity ------------------------------------------------------- #
     @property
     def _shared(self) -> Any:
-        return self._runtime.shared_session
+        return self._shared_session
 
     @property
     def supports_lockstep(self) -> bool:
@@ -768,6 +807,10 @@ class TenantSession:
         self._running.discard(event.query_id)
         self.num_failed_attempts += 1
         self._failure_counts[event.query_id] = self._failure_counts.get(event.query_id, 0) + 1
+        if self.soa_attempts is not None:
+            self.soa_attempts[event.query_id] += 1
+        if self.soa_available_at is not None and event.will_retry:
+            self.soa_available_at[event.query_id] = event.retry_at if event.retry_at is not None else 0.0
         if event.reason == FAILURE_TIMEOUT:
             self.num_timeouts += 1
         if event.will_retry:

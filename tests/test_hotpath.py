@@ -1,0 +1,422 @@
+"""Digest-pinned parity suite for the hot-path overhaul (ISSUE 7).
+
+The structure-of-arrays snapshot fast path, the calendar event queue and the
+vectorized featurizer must be *bit-identical* to the original AoS/heapq
+implementations.  This module pins sha256 digests of four reference scenarios
+(closed batch, streaming arrivals, cluster placement, fault-injected rounds)
+captured from the pre-refactor tree: each digest hashes, per decision step,
+the snapshot time, the reward, the full feature matrix bytes, the action
+mask bytes and the instance context/health — plus the final round log.
+
+Run ``PYTHONPATH=src python tests/test_hotpath.py`` to (re)print the digests
+from whatever tree is checked out; the constants below were captured from the
+PR 5/6 tree and must never change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterator
+
+import numpy as np
+import pytest
+
+from repro import (
+    BQSchedConfig,
+    DatabaseEngine,
+    DBMSProfile,
+    FailureProfile,
+    OutageWindow,
+    RetryPolicy,
+    make_workload,
+)
+from repro.core import (
+    AdaptiveMask,
+    BaseScheduler,
+    ClusterSchedulingEnv,
+    ExternalKnowledge,
+    FIFOScheduler,
+    RoundRobinPlacementScheduler,
+    SchedulingEnv,
+)
+from repro.dbms import Cluster, ConfigurationSpace
+from repro.encoder import RunStateFeaturizer, SnapshotArrays
+from repro.runtime import CalendarEventQueue, EventQueue, ExecutionRuntime, QueryArrival
+
+# --------------------------------------------------------------------------- #
+# Reference scenarios
+# --------------------------------------------------------------------------- #
+
+
+def _base() -> tuple:
+    workload = make_workload("tpch", scale_factor=1.0, seed=0)
+    batch = workload.batch_query_set()
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 4
+    space = ConfigurationSpace(config.scheduler)
+    return batch, config, space
+
+
+def _make_closed() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+    env = SchedulingEnv(
+        batch=batch,
+        backend=engine,
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=len(space), arrival_channel=True, failure_channel=True
+    )
+    return env, FIFOScheduler(), featurizer, (0, 1)
+
+
+def _make_streaming() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+    arrivals = [(i % 7) * 0.9 for i in range(len(batch))]
+    env = SchedulingEnv(
+        batch=batch,
+        backend=engine,
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+        arrivals=arrivals,
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=len(space), arrival_channel=True, failure_channel=True
+    )
+    return env, FIFOScheduler(), featurizer, (0, 1)
+
+
+def _make_cluster() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    cluster = Cluster.from_names(["x", "y", "z"], seed=0)
+    knowledge = ExternalKnowledge.from_probes(cluster, batch, space)
+    env = ClusterSchedulingEnv(
+        batch=batch,
+        backend=cluster,
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=3 * len(space),
+        arrival_channel=True,
+        failure_channel=True,
+        instance_context_dim=3 * 4,
+    )
+    return env, RoundRobinPlacementScheduler(), featurizer, (0, 1)
+
+
+def _make_faulted() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    probe_engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    knowledge = ExternalKnowledge.from_probes(probe_engine, batch, space)
+    engine = DatabaseEngine(
+        DBMSProfile.dbms_x(),
+        seed=0,
+        faults=FailureProfile(error_rate=0.25, outages=(OutageWindow(0, 4.0, 2.0),)),
+    )
+    runtime = ExecutionRuntime(engine, retry=RetryPolicy(max_attempts=3, backoff=0.5))
+    env = SchedulingEnv(
+        batch=batch,
+        backend=runtime.register("env", batch),
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=len(space), arrival_channel=True, failure_channel=True
+    )
+    return env, FIFOScheduler(), featurizer, (0, 1)
+
+
+_SCENARIOS: dict[str, Callable[[], tuple]] = {
+    "closed": _make_closed,
+    "streaming": _make_streaming,
+    "cluster": _make_cluster,
+    "faulted": _make_faulted,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Digest machinery
+# --------------------------------------------------------------------------- #
+
+
+def _digest_records(log) -> str:
+    sha = hashlib.sha256()
+    for r in log.records:
+        sha.update(
+            f"{r.query_id}|{r.connection}|{r.parameters.workers}|"
+            f"{r.parameters.memory_mb}|{r.submit_time!r}|{r.finish_time!r};".encode()
+        )
+    return sha.hexdigest()
+
+
+def _absorb(sha, env: SchedulingEnv, featurizer: RunStateFeaturizer, snapshot, reward: float) -> None:
+    sha.update(f"{snapshot.time!r}|{reward!r}|".encode())
+    sha.update(featurizer.featurize_snapshot(snapshot).tobytes())
+    sha.update(np.asarray(env.action_mask(), dtype=np.uint8).tobytes())
+    sha.update(repr(tuple(tuple(row) for row in snapshot.instance_context)).encode())
+    sha.update(repr(tuple(bool(flag) for flag in snapshot.instance_health)).encode())
+
+
+def _round_steps(env: SchedulingEnv, scheduler: BaseScheduler, round_id: int) -> Iterator[tuple]:
+    """Drive one full round, yielding ``(snapshot, reward)`` per decision step."""
+    snapshot = env.reset(round_id=round_id, strategy=scheduler.name)
+    scheduler.on_round_start(env)
+    yield snapshot, 0.0
+    done = False
+    while not done:
+        action = scheduler.select_action(env, snapshot)
+        step = env.step(action)
+        snapshot = step.snapshot
+        yield snapshot, step.reward
+        done = step.done
+
+
+def _run_round_digest(
+    env: SchedulingEnv,
+    scheduler: BaseScheduler,
+    featurizer: RunStateFeaturizer,
+    round_id: int,
+) -> tuple[str, str]:
+    sha = hashlib.sha256()
+    for snapshot, reward in _round_steps(env, scheduler, round_id):
+        _absorb(sha, env, featurizer, snapshot, reward)
+    return sha.hexdigest(), _digest_records(env.session.log)
+
+
+# --------------------------------------------------------------------------- #
+# Pinned digests — captured from the pre-refactor (PR 5/6) tree.  DO NOT
+# regenerate after behaviour-affecting changes; the fast path must reproduce
+# these bit-for-bit.
+# --------------------------------------------------------------------------- #
+
+_PINNED: dict[tuple[str, int], tuple[str, str]] = {
+    ("closed", 0): (
+        "26f2d3331d4c4487a021d8f2aa6982c2cfd92f47e0a8a742c15a1874142a0789",
+        "0b624001a42f4fca04ac3d0e35cba535f3577af4bf95f48380249474d9d37a9a",
+    ),
+    ("closed", 1): (
+        "6f02cbb2d96d426c5e8a3ecb89ca95652745d4c003aebcf40f86df2e02201d8f",
+        "3297ad965992d508ee6ab43d61fc01b8c7ed906cacf67a8b59c99b8f88173eab",
+    ),
+    ("streaming", 0): (
+        "24c429959eb1d61d81be34ff3fa981050ccf3a72bfb9d3f6342e98a7d0931c2e",
+        "07bb53fa0e93de276e962c7d64841b11176dc9f84921d364ba411a740541315f",
+    ),
+    ("streaming", 1): (
+        "4b8e30dcdb281a4774db5108671dc7005d91aca90af0c352cbca86d43344a028",
+        "0cca739c50cbec37a21399edbf0afc134f91f25da770a49fee82d3272774f2a7",
+    ),
+    ("cluster", 0): (
+        "45f35beb73b13a660f17623e6760ad692c86697058ae512080a67c39a0774c9d",
+        "a35befb590fe9ee2f03d31bc780bb908a6b2c04d595424a831484d1680dafa3f",
+    ),
+    ("cluster", 1): (
+        "222ba456cb54e721c07739a179a31277a8c8908e2c20fc3423af71b45bf9062b",
+        "bdf4476230e580f8d644595d3b8bba2c2695087756e5ac0b437538fddcd00653",
+    ),
+    ("faulted", 0): (
+        "5a48678d6a4ea984c3b2be440e73b0f5cff45739a10e3ad9903f93d4d90229c4",
+        "53c936ee4b67d2ba621e04a0306bfde6d03828bed49c3df9bd71430eb97cf042",
+    ),
+    ("faulted", 1): (
+        "98b501a716b130df8c419346b6dcfd15e40c188b7df692585f5e60f4a417c097",
+        "ebed580365247401c373848ef091ba74c24f6be074618ba25e43b4036ac884af",
+    ),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+def test_pinned_digests(scenario: str) -> None:
+    env, scheduler, featurizer, rounds = _SCENARIOS[scenario]()
+    for round_id in rounds:
+        step_digest, log_digest = _run_round_digest(env, scheduler, featurizer, round_id)
+        assert (step_digest, log_digest) == _PINNED[(scenario, round_id)], (
+            f"{scenario} round {round_id} diverged from the pinned pre-refactor digest"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# SoA vs AoS parity — the fast snapshot must agree with the reference
+# object-level snapshot at every decision step, field for field and byte for
+# byte, in every scenario.
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+def test_soa_snapshot_matches_aos(scenario: str) -> None:
+    env, scheduler, featurizer, rounds = _SCENARIOS[scenario]()
+    steps = 0
+    for round_id in rounds:
+        for snapshot, _reward in _round_steps(env, scheduler, round_id):
+            assert isinstance(snapshot, SnapshotArrays), (
+                f"{scenario}: expected the SoA fast path, got {type(snapshot).__name__}"
+            )
+            reference = env.snapshot_aos()
+            assert snapshot.to_snapshot() == reference
+            assert snapshot.pending_ids == reference.pending_ids
+            assert snapshot.running_ids == reference.running_ids
+            assert snapshot.finished_ids == reference.finished_ids
+            assert snapshot.unarrived_ids == reference.unarrived_ids
+            fast = featurizer.featurize_arrays(snapshot)
+            assert fast.tobytes() == featurizer.featurize_snapshot(reference).tobytes()
+            steps += 1
+    assert steps > 2 * len(env.batch)  # at least one decision per query per round
+
+
+# --------------------------------------------------------------------------- #
+# Event-queue parity — bulk extend and the calendar queue must reproduce the
+# exact (time, insertion order) pop sequence of the plain binary heap.
+# --------------------------------------------------------------------------- #
+
+
+def _synthetic_events(count: int, seed: int) -> list[QueryArrival]:
+    rng = np.random.default_rng(seed)
+    # Quantized times force plenty of exact same-timestamp ties.
+    times = np.round(rng.uniform(0.0, 20.0, size=count), 1)
+    return [
+        QueryArrival(time=float(times[i]), tenant=f"t{i % 3}", query_id=i) for i in range(count)
+    ]
+
+
+def test_event_queue_extend_matches_push() -> None:
+    events = _synthetic_events(200, seed=1)
+    pushed = EventQueue()
+    for event in events:
+        pushed.push(event)
+    extended = EventQueue()
+    extended.extend(events[:50])
+    extended.extend(events[50:])
+    assert len(pushed) == len(extended) == len(events)
+    while pushed:
+        assert extended.pop() is pushed.pop()
+    assert not extended
+
+
+@pytest.mark.parametrize("bucket_width", [0.3, 1.0, 7.5])
+def test_calendar_queue_matches_heapq(bucket_width: float) -> None:
+    events = _synthetic_events(300, seed=2)
+    heap = EventQueue()
+    calendar = CalendarEventQueue(bucket_width=bucket_width)
+    rng = np.random.default_rng(3)
+    cursor = 0
+    while cursor < len(events) or heap:
+        if cursor < len(events) and (not heap or rng.random() < 0.6):
+            take = int(rng.integers(1, 6))
+            chunk = events[cursor : cursor + take]
+            cursor += take
+            if rng.random() < 0.5:
+                for event in chunk:
+                    heap.push(event)
+                    calendar.push(event)
+            else:
+                heap.extend(chunk)
+                calendar.extend(chunk)
+        else:
+            assert calendar.peek_time() == heap.peek_time()
+            assert calendar.peek() is heap.peek()
+            if rng.random() < 0.5:
+                assert calendar.pop() is heap.pop()
+            else:
+                now = heap.peek_time()
+                assert now is not None
+                due = rng.random() < 0.5
+                probe = now if due else now - 1e-9
+                assert calendar.pop_due(probe) is heap.pop_due(probe)
+                if not due:  # nothing was due: drain one for progress
+                    assert calendar.pop() is heap.pop()
+        assert len(calendar) == len(heap)
+        assert bool(calendar) == bool(heap)
+    assert calendar.peek() is None and calendar.peek_time() is None
+    assert calendar.pop_due(1e9) is None
+    with pytest.raises(Exception):
+        calendar.pop()
+
+
+# --------------------------------------------------------------------------- #
+# Runtime on the calendar queue — full scheduled-event scenarios (streaming
+# arrivals; retries, timeout checks and outage recoveries) must reproduce the
+# pinned heapq digests bit-for-bit.
+# --------------------------------------------------------------------------- #
+
+
+def _make_streaming_calendar() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+    arrivals = [(i % 7) * 0.9 for i in range(len(batch))]
+    runtime = ExecutionRuntime(engine, event_queue=CalendarEventQueue(bucket_width=0.75))
+    env = SchedulingEnv(
+        batch=batch,
+        backend=runtime.register("env", batch, arrivals=arrivals),
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=len(space), arrival_channel=True, failure_channel=True
+    )
+    return env, FIFOScheduler(), featurizer, (0, 1)
+
+
+def _make_faulted_calendar() -> tuple[SchedulingEnv, BaseScheduler, RunStateFeaturizer, tuple[int, ...]]:
+    batch, config, space = _base()
+    probe_engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+    knowledge = ExternalKnowledge.from_probes(probe_engine, batch, space)
+    engine = DatabaseEngine(
+        DBMSProfile.dbms_x(),
+        seed=0,
+        faults=FailureProfile(error_rate=0.25, outages=(OutageWindow(0, 4.0, 2.0),)),
+    )
+    runtime = ExecutionRuntime(
+        engine,
+        retry=RetryPolicy(max_attempts=3, backoff=0.5),
+        event_queue=CalendarEventQueue(bucket_width=2.0),
+    )
+    env = SchedulingEnv(
+        batch=batch,
+        backend=runtime.register("env", batch),
+        scheduler_config=config.scheduler,
+        config_space=space,
+        knowledge=knowledge,
+        mask=AdaptiveMask.unmasked(len(batch), len(space)),
+    )
+    featurizer = RunStateFeaturizer(
+        num_configs=len(space), arrival_channel=True, failure_channel=True
+    )
+    return env, FIFOScheduler(), featurizer, (0, 1)
+
+
+@pytest.mark.parametrize(
+    "scenario,make",
+    [("streaming", _make_streaming_calendar), ("faulted", _make_faulted_calendar)],
+)
+def test_calendar_queue_runtime_matches_pinned_digests(scenario: str, make) -> None:
+    env, scheduler, featurizer, rounds = make()
+    for round_id in rounds:
+        step_digest, log_digest = _run_round_digest(env, scheduler, featurizer, round_id)
+        assert (step_digest, log_digest) == _PINNED[(scenario, round_id)], (
+            f"{scenario} round {round_id} on the calendar queue diverged from the heapq digest"
+        )
+
+
+if __name__ == "__main__":
+    for name, make in _SCENARIOS.items():
+        env, scheduler, featurizer, rounds = make()
+        for round_id in rounds:
+            step_d, log_d = _run_round_digest(env, scheduler, featurizer, round_id)
+            print(f'    ("{name}", {round_id}): (\n        "{step_d}",\n        "{log_d}",\n    ),')
