@@ -1,0 +1,222 @@
+"""NN inference micro-benchmark: ms/decision-step per inference backend.
+
+Times the policy's *sampling* forward — ``act_batch`` over a stack of SoA
+snapshots, exactly what vectorized rollout collection calls once per decision
+step — for every available :mod:`repro.nn.backend` implementation over a
+``(num_queries, num_envs)`` grid.
+
+The snapshot streams replay the decision-step locality the ``numpy-cached``
+backend exploits: each step advances the clock (dirtying the running rows via
+the clock rule), starts or finishes at most a couple of queries (row-version
+bumps), and leaves the growing pending/finished majority untouched — the
+regime of a real scheduling round.
+
+Methodology: streams are pre-built outside the timed region; each timed pass
+resets the backend (so cache build-up is amortised over the stream, as in a
+real round) and runs every step.  ``timeit.repeat`` with interleaved repeats
+and per-cell medians keeps shared-host noise out of the ratios.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_nn_inference.py
+    REPRO_BENCH_PROFILE=full PYTHONPATH=src python benchmarks/bench_nn_inference.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import timeit
+
+import numpy as np
+
+from repro.bench import get_profile, print_table, write_json_report
+from repro.config import EncoderConfig
+from repro.core.policy import ActorCriticNetwork
+from repro.encoder import RunStateFeaturizer, StateEncoder
+from repro.encoder.run_state import SnapshotArrays
+from repro.nn.backend import BackendUnavailableError, available_backends, resolve_backend
+
+#: (num_queries, num_envs) cells per effort profile.
+GRID = {
+    "quick": [(22, 8), (22, 64)],
+    "full": [(22, 1), (22, 8), (22, 32), (22, 64), (50, 64)],
+}
+
+#: Decision steps per timed pass and concurrent-query cap of the synthetic
+#: round (mirrors the TPC-H scenarios: 4 connections over ~22 queries).
+STEPS_PER_PASS = 30
+MAX_RUNNING = 4
+
+PLAN_DIM = 32
+
+
+def build_policy(num_queries: int, num_configs: int, seed: int):
+    """A paper-default policy (state_dim=48, 2 attention layers) + embeddings."""
+    rng = np.random.default_rng(seed)
+    featurizer = RunStateFeaturizer(num_configs=num_configs)
+    encoder = StateEncoder(PLAN_DIM, featurizer, EncoderConfig(), rng)
+    policy = ActorCriticNetwork(encoder, num_configs, rng)
+    plan = np.random.default_rng(seed + 1).normal(size=(num_queries, PLAN_DIM))
+    return policy, plan
+
+
+class _SyntheticSession:
+    """A stand-in ``state_key`` with evolving per-row state for one env."""
+
+    def __init__(self, num_queries: int, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.status = np.zeros(num_queries, dtype=np.int64)  # 0 pending
+        self.row_version = np.zeros(num_queries, dtype=np.int64)
+        self.started_at = np.zeros(num_queries, dtype=np.float64)
+        self.version = 0
+        self.time = 0.0
+
+    def _bump(self, row: int) -> None:
+        self.version += 1
+        self.row_version[row] = self.version
+
+    def step(self) -> None:
+        """Advance one decision step: start/finish queries, move the clock."""
+        self.time += float(self.rng.uniform(0.3, 0.8))
+        running = np.flatnonzero(self.status == 1)
+        if running.size and self.rng.uniform() < 0.35:
+            row = int(running[np.argmin(self.started_at[running])])
+            self.status[row] = 2
+            self._bump(row)
+            running = np.flatnonzero(self.status == 1)
+        pending = np.flatnonzero(self.status == 0)
+        if pending.size and running.size < MAX_RUNNING:
+            row = int(pending[0])
+            self.status[row] = 1
+            self.started_at[row] = self.time
+            self._bump(row)
+
+    def snapshot(self, num_configs: int) -> SnapshotArrays:
+        n = self.status.shape[0]
+        running = self.status == 1
+        return SnapshotArrays(
+            time=self.time,
+            status=self.status.copy(),
+            config_index=np.where(running, np.arange(n) % num_configs, -1),
+            elapsed=np.where(running, self.time - self.started_at, 0.0),
+            expected_time=1.0 + (np.arange(n) % 7).astype(np.float64),
+            available=np.ones(n, dtype=bool),
+            time_to_available=np.zeros(n, dtype=np.float64),
+            attempts=np.zeros(n, dtype=np.int64),
+            state_key=self,
+            row_version=self.row_version.copy(),
+        )
+
+
+def build_stream(num_queries: int, num_envs: int, num_configs: int, seed: int):
+    """Pre-built per-step snapshot stacks for ``STEPS_PER_PASS`` steps."""
+    sessions = [_SyntheticSession(num_queries, seed + index) for index in range(num_envs)]
+    stream = []
+    for _ in range(STEPS_PER_PASS):
+        for session in sessions:
+            session.step()
+        stream.append([session.snapshot(num_configs) for session in sessions])
+    return stream
+
+
+def run_pass(policy, plan, backend, stream, masks) -> None:
+    """One timed pass: every decision step of the stream through act_batch."""
+    backend.reset()
+    rng = np.random.default_rng(0)
+    for snapshots in stream:
+        policy.act_batch(plan, snapshots, masks, rng, backend=backend)
+
+
+def measure_backends(names, repeats: int, seed: int):
+    """Interleaved ``timeit.repeat`` over the grid; per-cell medians."""
+    profile = get_profile()
+    grid = GRID.get(profile.name, GRID["full"])
+    num_configs = 3
+    cells: dict[str, dict] = {}
+    for num_queries, num_envs in grid:
+        policy, plan = build_policy(num_queries, num_configs, seed)
+        stream = build_stream(num_queries, num_envs, num_configs, seed)
+        masks = np.ones((num_envs, num_queries * num_configs), dtype=bool)
+        for name in names:
+            backend = resolve_backend(name, policy, strict=True)
+            run_pass(policy, plan, backend, stream, masks)  # warmup
+            cells[f"{name}_q{num_queries}_envs_{num_envs}"] = {
+                "backend": name,
+                "num_queries": num_queries,
+                "num_envs": num_envs,
+                "steps": STEPS_PER_PASS,
+                "_timer": timeit.Timer(
+                    lambda p=policy, e=plan, b=backend, s=stream, m=masks: run_pass(p, e, b, s, m)
+                ),
+                "_times": [],
+            }
+    for _ in range(repeats):
+        for cell in cells.values():
+            cell["_times"].append(cell["_timer"].timeit(number=1))
+    for cell in cells.values():
+        seconds = float(np.median(cell.pop("_times")))
+        cell.pop("_timer")
+        cell["ms_per_step"] = seconds / STEPS_PER_PASS * 1000.0
+        cell["steps_per_sec"] = STEPS_PER_PASS / seconds
+    return cells, grid
+
+
+def main() -> int:
+    profile = get_profile()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3 if profile.name == "quick" else 5,
+                        help="interleaved timed passes per cell (median)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    names = []
+    for name in available_backends():
+        try:
+            resolve_backend(name, strict=True)
+        except BackendUnavailableError as exc:
+            print(f"skipping backend {name!r}: {exc}")
+            continue
+        names.append(name)
+
+    cells, grid = measure_backends(names, args.repeats, args.seed)
+
+    rows = []
+    speedups: dict[str, float] = {}
+    for key, cell in cells.items():
+        ref_key = f"numpy-ref_q{cell['num_queries']}_envs_{cell['num_envs']}"
+        speedup = cells[ref_key]["ms_per_step"] / cell["ms_per_step"]
+        cell["speedup_vs_ref"] = speedup
+        if cell["backend"] != "numpy-ref":
+            speedups[key] = speedup
+        rows.append(
+            [
+                cell["backend"],
+                str(cell["num_queries"]),
+                str(cell["num_envs"]),
+                f"{cell['ms_per_step']:.3f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    print_table(
+        ["backend", "queries", "envs", "ms/step", "vs ref"],
+        rows,
+        title=(
+            f"Sampling forward per decision step ({STEPS_PER_PASS} steps/pass, "
+            f"median of {args.repeats} interleaved passes, profile={profile.name})"
+        ),
+    )
+
+    write_json_report(
+        "nn_inference",
+        {
+            "backends": names,
+            "grid": [list(cell) for cell in grid],
+            "steps_per_pass": STEPS_PER_PASS,
+            "cells": cells,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

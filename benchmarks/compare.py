@@ -48,6 +48,7 @@ TOLERANCE_OVERRIDES: dict[str, float] = {
 SKIP_SUBSTRINGS = (
     "seconds",
     "steps_per_sec",
+    "ms_per_step",
     "throughput",
     "wall",
     "speedup",

@@ -202,6 +202,13 @@ class SchedulerConfig:
     #: rewards bit-identical to the fault-free tree.
     failure_penalty: float = 0.0
     evaluation_rounds: int = 5
+    #: Inference backend for the sampling-path forwards (rollout collection,
+    #: evaluation, serving): ``"numpy-ref"`` (default), ``"numpy-cached"``
+    #: (incremental cross-step caching, bit-identical) or ``"torch"``
+    #: (optional compiled path; degrades to numpy-ref with a warning when
+    #: torch is missing).  Resolved against :mod:`repro.nn.backend` when the
+    #: scheduler is built, so unknown names fail there with the full list.
+    inference_backend: str = "numpy-ref"
 
     def __post_init__(self) -> None:
         _require(self.num_connections >= 1, "num_connections must be >= 1")
@@ -211,6 +218,10 @@ class SchedulerConfig:
         _require(all(m > 0 for m in self.memory_options), "memory options must be positive")
         _require(self.failure_penalty >= 0, "failure_penalty must be >= 0")
         _require(self.evaluation_rounds >= 1, "evaluation_rounds must be >= 1")
+        _require(
+            isinstance(self.inference_backend, str) and bool(self.inference_backend),
+            "inference_backend must be a non-empty backend name",
+        )
 
     @property
     def num_configurations(self) -> int:

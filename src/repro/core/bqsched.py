@@ -41,6 +41,7 @@ from ..config import BQSchedConfig, RetryPolicy
 from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, FailureProfile, INSTANCE_FEATURE_DIM
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
+from ..nn.backend import resolve_backend
 from ..perf import PerformanceModel, SimulatedCluster
 from ..plans import PlanFeaturizer
 from ..runtime import ExecutionRuntime, ServiceReport
@@ -140,6 +141,13 @@ class RLSchedulerBase(BaseScheduler):
             rng=self.rng,
         )
         self.env = self._build_env(backend=self.engine)
+        # Resolved once against the registry: unknown names fail loudly here,
+        # unavailable/unsupported backends degrade to numpy-ref with a
+        # warning.  Every sampling forward (rollouts, greedy serving,
+        # evaluation) routes through this backend; learning never does.
+        self.inference_backend = resolve_backend(
+            self.config.scheduler.inference_backend, self.policy
+        )
         self.trainer: PPOTrainer | None = None
         self.timings: dict[str, float] = {}
         self._prepared = False
@@ -201,6 +209,7 @@ class RLSchedulerBase(BaseScheduler):
             config=ppo_config,
             seed=self.config.seed,
             eval_env=self.env,
+            backend=self.inference_backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -347,7 +356,13 @@ class RLSchedulerBase(BaseScheduler):
         """Greedy action from the learned policy (BaseScheduler interface)."""
         mask = env.action_mask()
         decision = self.policy.act(
-            self.plan_embeddings, snapshot, mask, self.rng, greedy=True, clusters=env.clusters
+            self.plan_embeddings,
+            snapshot,
+            mask,
+            self.rng,
+            greedy=True,
+            clusters=env.clusters,
+            backend=self.inference_backend,
         )
         return decision.action
 
@@ -419,7 +434,14 @@ class RLSchedulerBase(BaseScheduler):
             done = False
             while not done:
                 action_mask = env.action_mask()
-                decision = self.policy.act(plan_embeddings, snapshot, action_mask, self.rng, greedy=True)
+                decision = self.policy.act(
+                    plan_embeddings,
+                    snapshot,
+                    action_mask,
+                    self.rng,
+                    greedy=True,
+                    backend=self.inference_backend,
+                )
                 step = env.step(decision.action)
                 snapshot, done = step.snapshot, step.done
             evaluation.add(env.result().makespan)

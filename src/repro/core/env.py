@@ -484,6 +484,7 @@ class SchedulingEnv:
         if status_raw is None or self._soa_config_slots is None:
             return None
         now = session.current_time
+        row_version = getattr(session, "soa_row_version", None)
         running = _SOA_IS_RUNNING[status_raw]
         config_index = np.where(running, self._soa_config_slots, _SOA_CONFIG_BASE[status_raw])
         elapsed = np.where(running, now - session.soa_submit_time, 0.0)
@@ -509,6 +510,8 @@ class SchedulingEnv:
             attempts=session.soa_attempts.copy(),
             instance_context_array=self._instance_context_array(),
             instance_health_array=self._instance_health_array(),
+            state_key=session,
+            row_version=row_version.copy() if row_version is not None else None,
         )
 
     def snapshot_aos(self) -> SchedulingSnapshot:

@@ -17,6 +17,7 @@ import numpy as np
 from ..encoder import BatchedStateRepresentation, SchedulingSnapshot, StateEncoder, StateRepresentation
 from ..exceptions import SchedulingError
 from ..nn import MLP, Module, Tensor, fastinfer, masked_log_softmax, no_grad, stack
+from ..nn.backend import InferenceBackend
 
 __all__ = ["ActorCriticNetwork", "PolicyDecision"]
 
@@ -153,13 +154,28 @@ class ActorCriticNetwork(Module):
         rng: np.random.Generator,
         greedy: bool = False,
         clusters=None,
+        backend: InferenceBackend | None = None,
     ) -> PolicyDecision:
-        """Sample (or greedily pick) an action without building a gradient tape."""
-        with no_grad():
-            representation = self.representation(plan_embeddings, snapshot)
-            logits = self.action_logits(representation, snapshot, clusters=clusters)
-            log_probs = masked_log_softmax(logits, mask).data
-            value = float(self.state_value(representation).data[0])
+        """Sample (or greedily pick) an action without building a gradient tape.
+
+        ``backend`` may provide the whole scalar forward
+        (:meth:`~repro.nn.backend.InferenceBackend.scalar_forward`); backends
+        that return ``None`` — including both NumPy backends — keep the
+        reference tensor forward below, so the default path is unchanged.
+        """
+        forward = (
+            backend.scalar_forward(self, plan_embeddings, snapshot, mask, clusters=clusters)
+            if backend is not None
+            else None
+        )
+        if forward is not None:
+            log_probs, value = forward
+        else:
+            with no_grad():
+                representation = self.representation(plan_embeddings, snapshot)
+                logits = self.action_logits(representation, snapshot, clusters=clusters)
+                log_probs = masked_log_softmax(logits, mask).data
+                value = float(self.state_value(representation).data[0])
         if greedy:
             action = int(np.argmax(log_probs))
         else:
@@ -197,6 +213,7 @@ class ActorCriticNetwork(Module):
         rng: np.random.Generator,
         greedy: bool = False,
         clusters=None,
+        backend: InferenceBackend | None = None,
     ) -> list[PolicyDecision]:
         """Sample one action per snapshot from a single stacked forward pass.
 
@@ -204,11 +221,24 @@ class ActorCriticNetwork(Module):
         Sampling consumes ``rng`` once per snapshot, in order, mirroring the
         sequential :meth:`act` calls it replaces.  The whole forward runs on
         the tape-free NumPy inference path — rollouts never differentiate.
+
+        ``backend`` swaps the encoder forward (and optionally the heads) for
+        an :class:`~repro.nn.backend.InferenceBackend` implementation;
+        ``None`` is the reference path.  Sampling itself (masked softmax,
+        the inverse-CDF draw) is shared below, so RNG consumption is
+        identical across backends.
         """
         batch = len(snapshots)
         masks = np.asarray(masks, dtype=bool)
-        per_query, global_state = self.state_encoder.encode_batch_arrays(plan_embeddings, snapshots)
-        if clusters is None:
+        if backend is None:
+            per_query, global_state = self.state_encoder.encode_batch_arrays(plan_embeddings, snapshots)
+            heads = None
+        else:
+            per_query, global_state = backend.encode_batch(self.state_encoder, plan_embeddings, snapshots)
+            heads = backend.heads_batch(self, per_query, global_state, snapshots, clusters=clusters)
+        if heads is not None:
+            logits, values = heads
+        elif clusters is None:
             logits = fastinfer.mlp_forward(self.policy_head, per_query).reshape(batch, -1)
         else:
             pooled = np.empty((batch, clusters.num_clusters, per_query.shape[2]), dtype=per_query.dtype)
@@ -217,7 +247,8 @@ class ActorCriticNetwork(Module):
                     pooled[index, cluster_id] = per_query[index][members].mean(axis=0)
             logits = fastinfer.mlp_forward(self.policy_head, pooled).reshape(batch, -1)
         log_probs = fastinfer.masked_log_softmax_array(logits, masks)
-        values = fastinfer.mlp_forward(self.value_head, global_state).reshape(batch)
+        if heads is None:
+            values = fastinfer.mlp_forward(self.value_head, global_state).reshape(batch)
         if greedy:
             actions = np.argmax(log_probs, axis=1)
         else:

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..config import PPOConfig
 from ..nn import Adam, Tensor, clip_grad_norm, concatenate, where
+from ..nn.backend import InferenceBackend
 from .env import SchedulingEnv
 from .policy import ActorCriticNetwork
 from .rollout import RolloutBuffer, Transition
@@ -61,12 +62,17 @@ class PPOTrainer:
         config: PPOConfig,
         seed: int = 0,
         eval_env: SchedulingEnv | None = None,
+        backend: InferenceBackend | None = None,
     ) -> None:
         self.policy = policy
         self.plan_embeddings = plan_embeddings
         self.env = env
         self.eval_env = eval_env or env
         self.config = config
+        #: Inference backend for the *sampling* forwards (rollout collection
+        #: and evaluation).  ``None`` keeps the reference paths; the learning
+        #: updates below never route through a backend.
+        self.inference_backend = backend
         self.rng = np.random.default_rng(seed)
         self.optimizer = Adam(policy.parameters(), lr=config.learning_rate)
         self.history = TrainingHistory()
@@ -102,7 +108,13 @@ class PPOTrainer:
             while not done:
                 mask = self.env.action_mask()
                 decision = self.policy.act(
-                    self.plan_embeddings, snapshot, mask, self.rng, greedy=False, clusters=clusters
+                    self.plan_embeddings,
+                    snapshot,
+                    mask,
+                    self.rng,
+                    greedy=False,
+                    clusters=clusters,
+                    backend=self.inference_backend,
                 )
                 step = self.env.step(decision.action)
                 buffer.add(
@@ -147,7 +159,13 @@ class PPOTrainer:
             masks = vec.masks_for(active)
             batch_snapshots = [snapshots[i] for i in active]
             decisions = self.policy.act_batch(
-                self.plan_embeddings, batch_snapshots, masks, self.rng, greedy=False, clusters=clusters
+                self.plan_embeddings,
+                batch_snapshots,
+                masks,
+                self.rng,
+                greedy=False,
+                clusters=clusters,
+                backend=self.inference_backend,
             )
             steps = vec.step_many(active, [d.action for d in decisions])
             still_active: list[int] = []
@@ -313,7 +331,13 @@ class PPOTrainer:
             while not done:
                 mask = self.eval_env.action_mask()
                 decision = self.policy.act(
-                    self.plan_embeddings, snapshot, mask, self.rng, greedy=greedy, clusters=clusters
+                    self.plan_embeddings,
+                    snapshot,
+                    mask,
+                    self.rng,
+                    greedy=greedy,
+                    clusters=clusters,
+                    backend=self.inference_backend,
                 )
                 step = self.eval_env.step(decision.action)
                 snapshot = step.snapshot

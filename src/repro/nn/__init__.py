@@ -31,6 +31,7 @@ from .attention import AttentionBlock, AttentionEncoder, MultiHeadAttention
 from . import fastinfer
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
 from .serialization import Checkpoint, load_module, save_module
+from . import backend
 
 __all__ = [
     "Tensor",
@@ -39,6 +40,7 @@ __all__ = [
     "where",
     "no_grad",
     "fastinfer",
+    "backend",
     "cross_entropy",
     "entropy",
     "huber_loss",

@@ -1,0 +1,44 @@
+"""Pluggable inference backends for the sampling hot path.
+
+See :mod:`repro.nn.backend.base` for the protocol and registry.  Importing
+this package registers the built-in backends:
+
+``numpy-ref``
+    The reference tape-free NumPy forwards (the default; bit-identical to
+    calling the fastinfer paths directly).
+``numpy-cached``
+    Incremental cross-step caching of the row-wise projection stages,
+    bit-identical to ``numpy-ref`` (:mod:`repro.nn.backend.cached`).
+``torch``
+    Optional torch.jit-compiled forward; tolerance-level parity, degrades
+    to ``numpy-ref`` with a warning when torch is not installed
+    (:mod:`repro.nn.backend.torch_backend` — importing it never imports
+    torch; only instantiating the backend does).
+"""
+
+from .base import (
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    InferenceBackend,
+    NumpyRefBackend,
+    available_backends,
+    fast_inference_reason,
+    register_backend,
+    resolve_backend,
+)
+from .cached import NumpyCachedBackend, probe_slice_bitness
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "InferenceBackend",
+    "NumpyCachedBackend",
+    "NumpyRefBackend",
+    "TorchBackend",
+    "available_backends",
+    "fast_inference_reason",
+    "probe_slice_bitness",
+    "register_backend",
+    "resolve_backend",
+]

@@ -31,6 +31,7 @@ __all__ = [
     "attention_encoder_forward",
     "attention_encoder_forward_batched",
     "masked_log_softmax_array",
+    "fast_inference_reason",
     "supports_fast_inference",
 ]
 
@@ -282,11 +283,26 @@ def masked_log_softmax_array(logits: np.ndarray, mask: np.ndarray, mask_value: f
     return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
 
-def supports_fast_inference(encoder: AttentionEncoder) -> bool:
-    """Whether every block of ``encoder`` uses a norm the fast path covers."""
+def fast_inference_reason(encoder: AttentionEncoder) -> str | None:
+    """Why ``encoder`` cannot run on the tape-free fast path, or ``None``.
+
+    The capability check behind every NumPy inference backend
+    (:mod:`repro.nn.backend`): each attention block's norms must be one of
+    the kinds the fast forwards replicate bit-for-bit.  Returning the reason
+    (instead of a bare bool) lets callers warn instead of silently falling
+    back to the tensor path.
+    """
     for index in range(encoder.num_layers):
         block = encoder._modules[f"block_{index}"]
-        for norm in (block.norm1, block.norm2):
+        for which, norm in (("norm1", block.norm1), ("norm2", block.norm2)):
             if not isinstance(norm, (LayerNorm, BatchNorm)):
-                return False
-    return True
+                return (
+                    f"block {index} {which} is {type(norm).__name__}; the fast "
+                    "path only replicates LayerNorm and BatchNorm"
+                )
+    return None
+
+
+def supports_fast_inference(encoder: AttentionEncoder) -> bool:
+    """Whether every block of ``encoder`` uses a norm the fast path covers."""
+    return fast_inference_reason(encoder) is None

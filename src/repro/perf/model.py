@@ -9,6 +9,7 @@ influence of the concurrent queries.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,6 +49,30 @@ class ConcurrentPredictionModel(Module):
             self.encoder = AttentionEncoder(hidden_dim, num_heads, 1, rng, norm="layer")
         self.classifier = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
         self.regressor = MLP([hidden_dim, hidden_dim, 1], rng, activation="tanh")
+        self._warned_slow_path = False
+
+    def _fast_path_ok(self) -> bool:
+        """Capability check for the tape-free inference paths (warns once).
+
+        Delegates to the same per-backend reason check the inference-backend
+        registry uses; an encoder the fast path cannot replicate falls back
+        to the tensor forward *audibly* instead of silently running orders of
+        magnitude slower in the rollout hot loop.
+        """
+        if not self.use_attention:
+            return True
+        reason = fastinfer.fast_inference_reason(self.encoder)
+        if reason is None:
+            return True
+        if not self._warned_slow_path:  # pragma: no cover - simulator uses LayerNorm
+            warnings.warn(
+                f"ConcurrentPredictionModel falling back to the tensor forward ({reason}); "
+                "simulator advances will be much slower",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._warned_slow_path = True
+        return False
 
     def forward(self, features: np.ndarray) -> tuple[Tensor, Tensor]:
         """Return ``(class_logits, remaining_times)`` for ``(k, feature_dim)`` inputs."""
@@ -65,7 +90,7 @@ class ConcurrentPredictionModel(Module):
         is what keeps the simulator's ``advance`` cheap when N vectorized
         environments each advance their own session every decision round.
         """
-        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
+        if not self._fast_path_ok():
             with no_grad():  # pragma: no cover - the simulator always uses LayerNorm
                 logits, times = self.forward(features)
             return logits.data, times.data
@@ -87,7 +112,7 @@ class ConcurrentPredictionModel(Module):
         the sequential path's dynamics exactly.
         """
         groups, k = features.shape[0], features.shape[1]
-        if self.use_attention and not fastinfer.supports_fast_inference(self.encoder):
+        if not self._fast_path_ok():
             rows = [self.predict(features[g]) for g in range(groups)]  # pragma: no cover
             return np.stack([r[0] for r in rows]), np.stack([r[1] for r in rows])
         tokens = np.tanh(fastinfer.linear_forward(self.input_proj, features))

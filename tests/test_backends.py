@@ -1,0 +1,433 @@
+"""Parity suite for the pluggable NN inference backends (``repro.nn.backend``).
+
+The contract under test: ``numpy-cached`` must be **bit-identical** to the
+``numpy-ref`` reference path — same per-query/global encodings, same logits,
+same sampled actions, same RNG consumption — across every rollout scenario the
+hot-path digest suite covers (closed, streaming, cluster, faulted).  Digests
+are computed in-test for *both* backends on the same machine rather than
+pinned, because the encoder outputs flow through BLAS and are therefore not
+portable constants.
+
+The optional ``torch`` backend is held to tolerance-level parity (logits
+within ``1e-5``) and the whole class skips when torch is not installed; the
+registry must then fall back to ``numpy-ref`` with an audible warning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import EncoderConfig
+from repro.core.policy import ActorCriticNetwork
+from repro.encoder import RunStateFeaturizer, StateEncoder
+from repro.encoder.run_state import SnapshotArrays
+from repro.exceptions import SchedulingError
+from repro.nn.backend import (
+    DEFAULT_BACKEND,
+    NumpyCachedBackend,
+    NumpyRefBackend,
+    available_backends,
+    probe_slice_bitness,
+    resolve_backend,
+)
+
+from test_hotpath import _SCENARIOS
+
+_TORCH_MISSING = importlib.util.find_spec("torch") is None
+
+_PLAN_DIM = 16
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+
+
+def _small_config(layers: int = 2) -> EncoderConfig:
+    return EncoderConfig(state_dim=24, state_heads=2, state_layers=layers)
+
+
+def _build_policy(
+    featurizer: RunStateFeaturizer,
+    num_queries: int,
+    num_configs: int,
+    *,
+    seed: int = 7,
+    use_attention: bool = True,
+    layers: int = 2,
+) -> tuple[ActorCriticNetwork, np.ndarray]:
+    """A fresh policy (deterministic init) plus frozen plan embeddings."""
+    rng = np.random.default_rng(seed)
+    encoder = StateEncoder(
+        _PLAN_DIM, featurizer, _small_config(layers), rng, use_attention=use_attention
+    )
+    policy = ActorCriticNetwork(encoder, num_configs, rng)
+    plan = np.random.default_rng(seed + 1).normal(size=(num_queries, _PLAN_DIM))
+    return policy, plan
+
+
+def _rollout_decision_digest(scenario: str, backend_name: str, max_steps: int = 80) -> str:
+    """Drive a scenario with policy-sampled actions; digest every decision.
+
+    The policy's decisions feed back into the environment, so a single
+    diverging logit anywhere in the stream changes the trajectory and the
+    digest — this is a closed-loop, end-to-end parity check, not a snapshot
+    comparison.
+    """
+    env, scheduler, featurizer, round_ids = _SCENARIOS[scenario]()
+    n = len(env.batch)
+    num_configs = env.action_dim // n
+    policy, plan = _build_policy(featurizer, n, num_configs)
+    backend = resolve_backend(backend_name, policy)
+    assert backend.name == backend_name
+    sha = hashlib.sha256()
+    steps = 0
+    for round_id in round_ids:
+        env.reset(round_id=round_id, strategy=f"backend-{backend_name}")
+        scheduler.on_round_start(env)
+        arrays = env._snapshot_arrays()
+        assert arrays is not None, "scenario session must expose SoA snapshots"
+        done = False
+        rng = np.random.default_rng(1000 + round_id)
+        while not done and steps < max_steps:
+            mask = np.asarray(env.action_mask(), dtype=bool)
+            if mask.any():
+                decision = policy.act_batch(
+                    plan, [arrays], mask.reshape(1, -1), rng, backend=backend
+                )[0]
+                action = decision.action
+                sha.update(np.int64(action).tobytes())
+                sha.update(np.float64(decision.log_prob).tobytes())
+                sha.update(np.float64(decision.value).tobytes())
+            else:
+                # Nothing schedulable (e.g. streaming gaps): defer to the
+                # scenario's reference scheduler so time advances identically.
+                action = scheduler.select_action(env, arrays)
+            step = env.step(action)
+            arrays = env._snapshot_arrays()
+            sha.update(np.float64(step.reward).tobytes())
+            done = step.done
+            steps += 1
+    return sha.hexdigest()
+
+
+def _toy_arrays(
+    status: list[int],
+    *,
+    time: float,
+    state_key: object,
+    row_version: np.ndarray,
+    expected: np.ndarray | None = None,
+    elapsed: np.ndarray | None = None,
+) -> SnapshotArrays:
+    """A hand-built SoA snapshot (status codes: 0 pending, 1 running, 2 done)."""
+    codes = np.asarray(status, dtype=np.int64)
+    n = codes.shape[0]
+    running = codes == 1
+    if expected is None:
+        expected = 1.0 + np.arange(n, dtype=np.float64)
+    if elapsed is None:
+        elapsed = np.where(running, 0.5 * time, 0.0)
+    return SnapshotArrays(
+        time=time,
+        status=codes,
+        config_index=np.where(running, np.arange(n) % 3, -1),
+        elapsed=np.asarray(elapsed, dtype=np.float64),
+        expected_time=np.asarray(expected, dtype=np.float64),
+        available=np.ones(n, dtype=bool),
+        time_to_available=np.zeros(n, dtype=np.float64),
+        attempts=np.zeros(n, dtype=np.int64),
+        state_key=state_key,
+        row_version=np.asarray(row_version, dtype=np.int64),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry behaviour
+# --------------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self) -> None:
+        names = available_backends()
+        assert "numpy-ref" in names
+        assert "numpy-cached" in names
+        assert "torch" in names
+
+    def test_none_resolves_to_default(self) -> None:
+        backend = resolve_backend(None)
+        assert isinstance(backend, NumpyRefBackend)
+        assert backend.name == DEFAULT_BACKEND
+
+    def test_unknown_backend_raises(self) -> None:
+        with pytest.raises(SchedulingError, match="unknown inference backend"):
+            resolve_backend("numpy-warp-drive")
+
+    def test_cached_resolves(self) -> None:
+        backend = resolve_backend("numpy-cached")
+        assert isinstance(backend, NumpyCachedBackend)
+
+    @pytest.mark.skipif(not _TORCH_MISSING, reason="torch is installed here")
+    def test_torch_falls_back_with_warning_when_missing(self) -> None:
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            backend = resolve_backend("torch")
+        assert backend.name == DEFAULT_BACKEND
+
+    def test_probe_slice_bitness_is_cached_and_boolean(self) -> None:
+        first = probe_slice_bitness()
+        assert isinstance(first, bool)
+        assert probe_slice_bitness() is first
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end rollout parity: numpy-cached vs numpy-ref, bit for bit
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+def test_cached_rollout_digest_matches_ref(scenario: str) -> None:
+    ref = _rollout_decision_digest(scenario, "numpy-ref")
+    cached = _rollout_decision_digest(scenario, "numpy-cached")
+    assert cached == ref, f"{scenario}: numpy-cached diverged from numpy-ref"
+
+
+def test_faulted_rollout_under_internal_verification(monkeypatch) -> None:
+    """REPRO_CACHED_VERIFY=1 re-projects every cached row and asserts equality.
+
+    The faulted scenario exercises retries and instance outages, where attempt
+    requeues must dirty their rows; a stale row trips the in-backend check.
+    """
+    monkeypatch.setenv("REPRO_CACHED_VERIFY", "1")
+    digest = _rollout_decision_digest("faulted", "numpy-cached", max_steps=40)
+    monkeypatch.delenv("REPRO_CACHED_VERIFY")
+    assert os.environ.get("REPRO_CACHED_VERIFY", "") == ""
+    assert digest  # the run completed without tripping the verifier
+
+
+# --------------------------------------------------------------------------- #
+# Edge shapes and cache semantics on synthetic snapshots
+# --------------------------------------------------------------------------- #
+
+
+class TestEdgeShapes:
+    def _compare_steps(self, featurizer, steps, *, use_attention=True, layers=2):
+        """Ref vs cached encode on a cross-step sequence; bitwise equality."""
+        n = steps[0][0].num_queries
+        policy, plan = _build_policy(
+            featurizer, n, 3, use_attention=use_attention, layers=layers
+        )
+        encoder = policy.state_encoder
+        cached = NumpyCachedBackend()
+        for snapshots in steps:
+            ref_pq, ref_gs = encoder.encode_batch_arrays(plan, snapshots)
+            got_pq, got_gs = cached.encode_batch(encoder, plan, snapshots)
+            np.testing.assert_array_equal(got_pq, ref_pq, strict=True)
+            np.testing.assert_array_equal(got_gs, ref_gs, strict=True)
+
+    def test_single_query_batch(self) -> None:
+        """n = 1: the sequence is one token plus the super query."""
+        featurizer = RunStateFeaturizer(num_configs=3)
+        key = object()
+        steps = [
+            [_toy_arrays([0], time=0.0, state_key=key, row_version=np.array([0]))],
+            [_toy_arrays([1], time=1.0, state_key=key, row_version=np.array([1]))],
+            [_toy_arrays([2], time=2.5, state_key=key, row_version=np.array([2]))],
+        ]
+        self._compare_steps(featurizer, steps)
+
+    def test_single_pending_query_among_finished(self) -> None:
+        featurizer = RunStateFeaturizer(num_configs=3)
+        key = object()
+        steps = [
+            [_toy_arrays([2, 2, 0, 2], time=4.0, state_key=key, row_version=np.array([3, 5, 0, 7]))],
+            [_toy_arrays([2, 2, 1, 2], time=5.0, state_key=key, row_version=np.array([3, 5, 8, 7]))],
+        ]
+        self._compare_steps(featurizer, steps)
+
+    def test_no_attention_encoder(self) -> None:
+        featurizer = RunStateFeaturizer(num_configs=3)
+        key = object()
+        steps = [
+            [_toy_arrays([0, 0, 0], time=0.0, state_key=key, row_version=np.array([0, 0, 0]))],
+            [_toy_arrays([1, 0, 0], time=1.0, state_key=key, row_version=np.array([1, 0, 0]))],
+        ]
+        self._compare_steps(featurizer, steps, use_attention=False)
+
+    def test_multi_env_batch_with_shared_and_fresh_sessions(self) -> None:
+        """Two envs advance together; a third joins mid-stream (fresh slot)."""
+        featurizer = RunStateFeaturizer(num_configs=3)
+        a, b, c = object(), object(), object()
+        steps = [
+            [
+                _toy_arrays([0, 0, 0], time=0.0, state_key=a, row_version=np.array([0, 0, 0])),
+                _toy_arrays([1, 0, 2], time=3.0, state_key=b, row_version=np.array([4, 0, 2])),
+            ],
+            [
+                _toy_arrays([1, 0, 0], time=1.0, state_key=a, row_version=np.array([1, 0, 0])),
+                _toy_arrays([1, 1, 2], time=4.0, state_key=b, row_version=np.array([4, 5, 2])),
+                _toy_arrays([0, 0, 0], time=0.0, state_key=c, row_version=np.array([0, 0, 0])),
+            ],
+        ]
+        self._compare_steps(featurizer, steps)
+
+    def test_saturated_and_single_action_masks(self) -> None:
+        """Sampling parity under an all-true mask and an all-but-one mask."""
+        featurizer = RunStateFeaturizer(num_configs=3)
+        n = 4
+        policy, plan = _build_policy(featurizer, n, 3)
+        key = object()
+        arrays = _toy_arrays([0, 1, 0, 2], time=1.0, state_key=key, row_version=np.arange(n))
+        full = np.ones((1, n * 3), dtype=bool)
+        single = np.zeros((1, n * 3), dtype=bool)
+        single[0, 7] = True
+        cached = NumpyCachedBackend()
+        ref = NumpyRefBackend()
+        for mask in (full, single):
+            want = policy.act_batch(plan, [arrays], mask, np.random.default_rng(3), backend=ref)[0]
+            got = policy.act_batch(plan, [arrays], mask, np.random.default_rng(3), backend=cached)[0]
+            assert got.action == want.action
+            assert got.log_prob == want.log_prob
+            assert got.value == want.value
+
+    def test_stale_row_requires_version_bump(self) -> None:
+        """Prove the cache actually reuses rows — then invalidates on a bump.
+
+        Mutating a pending row's features *without* bumping its row version
+        (and without moving the clock) must leave the cached projection stale:
+        the backend's output diverges from a fresh reference encode.  Bumping
+        the version heals it bit-for-bit.  A backend that silently recomputed
+        everything would pass parity trivially; this guards the cache's
+        existence, not just its correctness.
+        """
+        if not probe_slice_bitness():  # pragma: no cover - depends on BLAS build
+            pytest.skip("row caching disabled on this BLAS build")
+        featurizer = RunStateFeaturizer(num_configs=3)
+        policy, plan = _build_policy(featurizer, 3, 3)
+        encoder = policy.state_encoder
+        cached = NumpyCachedBackend()
+        key = object()
+        base = _toy_arrays([0, 1, 0], time=2.0, state_key=key, row_version=np.array([0, 1, 0]))
+        cached.encode_batch(encoder, plan, [base])
+
+        mutated = _toy_arrays(
+            [0, 1, 0],
+            time=2.0,
+            state_key=key,
+            row_version=np.array([0, 1, 0]),
+            expected=np.array([9.0, 2.0, 3.0]),
+        )
+        ref_pq, _ = encoder.encode_batch_arrays(plan, [mutated])
+        stale_pq, _ = cached.encode_batch(encoder, plan, [mutated])
+        assert not np.array_equal(stale_pq, ref_pq), "expected a stale cached row"
+
+        bumped = _toy_arrays(
+            [0, 1, 0],
+            time=2.0,
+            state_key=key,
+            row_version=np.array([5, 1, 0]),
+            expected=np.array([9.0, 2.0, 3.0]),
+        )
+        ref_pq, ref_gs = encoder.encode_batch_arrays(plan, [bumped])
+        got_pq, got_gs = cached.encode_batch(encoder, plan, [bumped])
+        np.testing.assert_array_equal(got_pq, ref_pq, strict=True)
+        np.testing.assert_array_equal(got_gs, ref_gs, strict=True)
+
+    def test_parameter_update_invalidates_all_rows(self) -> None:
+        """An optimizer-style fresh-array param install must flush the cache."""
+        featurizer = RunStateFeaturizer(num_configs=3)
+        policy, plan = _build_policy(featurizer, 3, 3)
+        encoder = policy.state_encoder
+        cached = NumpyCachedBackend()
+        key = object()
+        arrays = _toy_arrays([0, 1, 2], time=1.0, state_key=key, row_version=np.array([0, 1, 2]))
+        cached.encode_batch(encoder, plan, [arrays])
+        # Mirror Adam's `param.data = param.data + step` fresh-array install.
+        first = next(iter(encoder.query_mlp.net))
+        first.weight.data = first.weight.data + 1e-3
+        ref_pq, ref_gs = encoder.encode_batch_arrays(plan, [arrays])
+        got_pq, got_gs = cached.encode_batch(encoder, plan, [arrays])
+        np.testing.assert_array_equal(got_pq, ref_pq, strict=True)
+        np.testing.assert_array_equal(got_gs, ref_gs, strict=True)
+
+    def test_snapshot_without_state_key_delegates(self) -> None:
+        """Opted-out snapshots (no state_key) still encode — via delegation."""
+        featurizer = RunStateFeaturizer(num_configs=3)
+        policy, plan = _build_policy(featurizer, 3, 3)
+        encoder = policy.state_encoder
+        cached = NumpyCachedBackend()
+        arrays = _toy_arrays([0, 1, 2], time=1.0, state_key=None, row_version=np.array([0, 0, 0]))
+        arrays.state_key = None
+        arrays.row_version = None
+        ref_pq, ref_gs = encoder.encode_batch_arrays(plan, [arrays])
+        got_pq, got_gs = cached.encode_batch(encoder, plan, [arrays])
+        np.testing.assert_array_equal(got_pq, ref_pq, strict=True)
+        np.testing.assert_array_equal(got_gs, ref_gs, strict=True)
+
+
+# --------------------------------------------------------------------------- #
+# Torch backend (optional; tolerance-level parity)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.skipif(_TORCH_MISSING, reason="torch is not installed")
+class TestTorchBackend:
+    def _setup(self):
+        from repro.nn.backend import TorchBackend
+
+        featurizer = RunStateFeaturizer(num_configs=3)
+        policy, plan = _build_policy(featurizer, 4, 3)
+        key = object()
+        snapshots = [
+            _toy_arrays([0, 1, 0, 2], time=1.0, state_key=key, row_version=np.arange(4)),
+            _toy_arrays([1, 1, 0, 2], time=2.0, state_key=object(), row_version=np.arange(4)),
+        ]
+        return TorchBackend(), policy, plan, snapshots
+
+    def test_encode_parity(self) -> None:
+        backend, policy, plan, snapshots = self._setup()
+        encoder = policy.state_encoder
+        ref_pq, ref_gs = encoder.encode_batch_arrays(plan, snapshots)
+        got_pq, got_gs = backend.encode_batch(encoder, plan, snapshots)
+        np.testing.assert_allclose(got_pq, ref_pq, atol=1e-5)
+        np.testing.assert_allclose(got_gs, ref_gs, atol=1e-5)
+
+    def test_logits_parity(self) -> None:
+        backend, policy, plan, snapshots = self._setup()
+        encoder = policy.state_encoder
+        ref_pq, ref_gs = encoder.encode_batch_arrays(plan, snapshots)
+        from repro.nn import fastinfer
+
+        ref_logits = fastinfer.mlp_forward(policy.policy_head, ref_pq).reshape(2, -1)
+        ref_values = fastinfer.mlp_forward(policy.value_head, ref_gs).reshape(2)
+        got_pq, got_gs = backend.encode_batch(encoder, plan, snapshots)
+        heads = backend.heads_batch(policy, got_pq, got_gs, snapshots, clusters=None)
+        assert heads is not None
+        logits, values = heads
+        np.testing.assert_allclose(logits, ref_logits, atol=1e-5)
+        np.testing.assert_allclose(values, ref_values, atol=1e-5)
+
+    def test_greedy_decisions_match_reference(self) -> None:
+        backend, policy, plan, snapshots = self._setup()
+        masks = np.ones((2, 12), dtype=bool)
+        want = policy.act_batch(plan, snapshots, masks, np.random.default_rng(0), greedy=True)
+        got = policy.act_batch(
+            plan, snapshots, masks, np.random.default_rng(0), greedy=True, backend=backend
+        )
+        for w, g in zip(want, got):
+            assert g.action == w.action
+            assert g.log_prob == pytest.approx(w.log_prob, abs=1e-5)
+            assert g.value == pytest.approx(w.value, abs=1e-4)
+
+    def test_running_stats_track_reference(self) -> None:
+        """BatchNorm running stats on the numpy modules keep advancing."""
+        backend, policy, plan, snapshots = self._setup()
+        encoder = policy.state_encoder
+        norm = encoder.attention.blocks[0].norm1
+        before = np.array(norm.running_mean, copy=True)
+        backend.encode_batch(encoder, plan, snapshots)
+        assert not np.array_equal(norm.running_mean, before)
