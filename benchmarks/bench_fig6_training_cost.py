@@ -16,12 +16,15 @@ def _run(profile):
     scenario = Scenario(benchmark=benchmark_name, dbms="x", profile=profile)
     rows = {}
 
+    phase_rows = {}
+
     # BQSched with simulator pre-training: most updates happen on the simulator,
     # only a short fine-tuning phase touches the DBMS.
     workload, engine, config = scenario.build()
     with_sim = BQSched(workload, engine, config)
     with_sim.train(num_updates=max(1, profile.train_updates // 2), pretrain_updates=profile.pretrain_updates)
     rows["BQSched (pretrain + finetune)"] = dict(with_sim.timings)
+    phase_rows["BQSched (pretrain + finetune)"] = with_sim.trainer.timers.as_dict()
 
     # BQSched trained from scratch on the DBMS (no simulator).
     workload, engine, config = scenario.build()
@@ -29,12 +32,14 @@ def _run(profile):
     from_scratch.use_simulator = False
     from_scratch.train(num_updates=profile.train_updates)
     rows["BQSched (from scratch)"] = dict(from_scratch.timings)
+    phase_rows["BQSched (from scratch)"] = from_scratch.trainer.timers.as_dict()
 
     # LSched trained from scratch on the DBMS.
     workload, engine, config = scenario.build()
     lsched = LSchedScheduler(workload, engine, config)
     lsched.train(num_updates=profile.train_updates)
     rows["LSched (from scratch)"] = dict(lsched.timings)
+    phase_rows["LSched (from scratch)"] = lsched.trainer.timers.as_dict()
 
     table = []
     for name, timings in rows.items():
@@ -54,7 +59,20 @@ def _run(profile):
             f"time; ratios: {paper_values.FIG6_TRAINING_COST})"
         ),
     )
-    write_json_report("fig6_training_cost", {"timings": rows})
+    # Trainer-internal phase breakdown (SectionTimers): where each final
+    # trainer's wall clock went — rollout collection vs the update/aux
+    # optimisation phases (and the optimizer slice inside those).
+    phases = sorted({phase for timers in phase_rows.values() for phase in timers})
+    breakdown = [
+        [name] + [f"{timers.get(phase, {}).get('seconds', 0.0):.2f}" for phase in phases]
+        for name, timers in phase_rows.items()
+    ]
+    print_table(
+        ["configuration"] + [f"{phase} (s)" for phase in phases],
+        breakdown,
+        title="Trainer phase breakdown (SectionTimers, final training phase)",
+    )
+    write_json_report("fig6_training_cost", {"timings": rows, "trainer_phases": phase_rows})
     return rows
 
 

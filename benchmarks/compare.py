@@ -49,6 +49,8 @@ SKIP_SUBSTRINGS = (
     "seconds",
     "steps_per_sec",
     "ms_per_step",
+    "ms_per_update",
+    "updates_per_sec",
     "throughput",
     "wall",
     "speedup",

@@ -209,6 +209,13 @@ class SchedulerConfig:
     #: torch is missing).  Resolved against :mod:`repro.nn.backend` when the
     #: scheduler is built, so unknown names fail there with the full list.
     inference_backend: str = "numpy-ref"
+    #: Training path for the PPO-family trainers and the performance model:
+    #: ``"tape"`` (default, the define-by-run autograd) or ``"fused"`` (the
+    #: tape-free analytic kernels in :mod:`repro.nn.fastgrad`; gradients
+    #: match the tape to float64 rounding).  Unsupported module
+    #: configurations fall back to the tape with a one-time
+    #: ``RuntimeWarning`` naming the reason.
+    training_path: str = "tape"
 
     def __post_init__(self) -> None:
         _require(self.num_connections >= 1, "num_connections must be >= 1")
@@ -221,6 +228,10 @@ class SchedulerConfig:
         _require(
             isinstance(self.inference_backend, str) and bool(self.inference_backend),
             "inference_backend must be a non-empty backend name",
+        )
+        _require(
+            self.training_path in ("tape", "fused"),
+            "training_path must be 'tape' or 'fused'",
         )
 
     @property

@@ -210,6 +210,7 @@ class RLSchedulerBase(BaseScheduler):
             seed=self.config.seed,
             eval_env=self.env,
             backend=self.inference_backend,
+            training_path=self.config.scheduler.training_path,
         )
 
     # ------------------------------------------------------------------ #
@@ -266,6 +267,7 @@ class RLSchedulerBase(BaseScheduler):
                     config=self.config.simulator,
                     seed=self.config.seed,
                     instance_speeds=self.engine.speed_factors(),
+                    training_path=self.config.scheduler.training_path,
                 )
                 self.perf_model.train_from_log(self.history_log)
                 self.simulator = SimulatedCluster.for_cluster(self.perf_model, self.engine)
@@ -277,6 +279,7 @@ class RLSchedulerBase(BaseScheduler):
                     config_space=self.config_space,
                     config=self.config.simulator,
                     seed=self.config.seed,
+                    training_path=self.config.scheduler.training_path,
                 )
                 simulator.train_from_log(self.history_log)
                 self.simulator = simulator

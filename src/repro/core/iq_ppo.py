@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor, clip_grad_norm, kl_divergence
+from ..nn import Tensor, chained_sum, clip_grad_norm, fastgrad, kl_divergence
 from .ppo import PPOTrainer
 from .rollout import RolloutBuffer
 
@@ -48,10 +48,7 @@ class IQPPOTrainer(PPOTrainer):
                 aux_loss = (predicted - target) ** 2 * 0.5
                 clone = kl_divergence(old, new_log_probs)
                 batch_losses.append(aux_loss + self.config.beta_clone * clone)
-            total = batch_losses[0]
-            for extra in batch_losses[1:]:
-                total = total + extra
-            total = total * (1.0 / len(batch_losses))
+            total = chained_sum(batch_losses) * (1.0 / len(batch_losses))
             self.optimizer.zero_grad()
             total.backward()
             clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
@@ -69,6 +66,27 @@ class IQPPOTrainer(PPOTrainer):
         snapshots = [t.snapshot for t in transitions]
         query_ids = np.array([t.aux_query_id for t in transitions], dtype=np.int64)
         masks = np.stack([t.mask for t in transitions], axis=0)
+        if self._use_fused_updates():
+            losses = []
+            for _ in range(self.config.aux_epochs):
+                self.optimizer.zero_grad()
+                total = fastgrad.iq_ppo_aux_step(
+                    self.policy,
+                    self.plan_embeddings,
+                    snapshots,
+                    query_ids,
+                    masks,
+                    old_log_probs=old_log_probs,
+                    time_targets=np.array([t.aux_target / time_scale for t in transitions]),
+                    beta_clone=self.config.beta_clone,
+                    arena=self._arena,
+                )
+                with self.timers.section("optimizer"):
+                    clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+                    self.optimizer.step()
+                self._arena.reset()
+                losses.append(total)
+            return float(np.mean(losses))
         targets = Tensor(np.array([t.aux_target / time_scale for t in transitions]))
         losses = []
         for _ in range(self.config.aux_epochs):

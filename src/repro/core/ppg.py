@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Tensor, clip_grad_norm, kl_divergence, masked_log_softmax
+from ..nn import Tensor, chained_sum, clip_grad_norm, fastgrad, kl_divergence, masked_log_softmax
 from .ppo import PPOTrainer
 from .rollout import RolloutBuffer
 
@@ -48,10 +48,7 @@ class PPGTrainer(PPOTrainer):
                 new_log_probs = masked_log_softmax(logits, transition.mask)
                 clone = kl_divergence(old, new_log_probs)
                 batch_losses.append(aux_loss + self.config.beta_clone * clone)
-            total = batch_losses[0]
-            for extra in batch_losses[1:]:
-                total = total + extra
-            total = total * (1.0 / len(batch_losses))
+            total = chained_sum(batch_losses) * (1.0 / len(batch_losses))
             self.optimizer.zero_grad()
             total.backward()
             clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
@@ -72,6 +69,26 @@ class PPGTrainer(PPOTrainer):
         clusters = self.env.clusters
         snapshots = [t.snapshot for t in transitions]
         masks = np.stack([t.mask for t in transitions], axis=0)
+        if self._use_fused_updates():
+            losses = []
+            for _ in range(self.config.aux_epochs):
+                self.optimizer.zero_grad()
+                total = fastgrad.ppg_aux_step(
+                    self.policy,
+                    self.plan_embeddings,
+                    snapshots,
+                    masks,
+                    old_log_probs=old_log_probs,
+                    value_targets=np.array([t.value_target for t in transitions]),
+                    beta_clone=self.config.beta_clone,
+                    arena=self._arena,
+                )
+                with self.timers.section("optimizer"):
+                    clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+                    self.optimizer.step()
+                self._arena.reset()
+                losses.append(total)
+            return float(np.mean(losses))
         targets = Tensor(np.array([t.value_target for t in transitions]))
         losses = []
         for _ in range(self.config.aux_epochs):

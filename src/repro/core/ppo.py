@@ -17,12 +17,13 @@ original sequential code path bit-for-bit.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import PPOConfig
-from ..nn import Adam, Tensor, clip_grad_norm, concatenate, where
+from ..nn import Adam, Tensor, chained_sum, clip_grad_norm, concatenate, fastgrad, where
 from ..nn.backend import InferenceBackend
 from .env import SchedulingEnv
 from .policy import ActorCriticNetwork
@@ -63,6 +64,7 @@ class PPOTrainer:
         seed: int = 0,
         eval_env: SchedulingEnv | None = None,
         backend: InferenceBackend | None = None,
+        training_path: str = "tape",
     ) -> None:
         self.policy = policy
         self.plan_embeddings = plan_embeddings
@@ -73,6 +75,15 @@ class PPOTrainer:
         #: and evaluation).  ``None`` keeps the reference paths; the learning
         #: updates below never route through a backend.
         self.inference_backend = backend
+        if training_path not in ("tape", "fused"):
+            raise ValueError(f"training_path must be 'tape' or 'fused', got {training_path!r}")
+        #: ``"tape"`` runs updates through the autograd tape; ``"fused"``
+        #: uses the tape-free analytic kernels in :mod:`repro.nn.fastgrad`
+        #: (batched spine only), falling back audibly when unsupported.
+        self.training_path = training_path
+        self._fused_checked = False
+        self._fused_reason: str | None = None
+        self._arena: fastgrad.Arena | None = None
         self.rng = np.random.default_rng(seed)
         self.optimizer = Adam(policy.parameters(), lr=config.learning_rate)
         self.history = TrainingHistory()
@@ -81,6 +92,37 @@ class PPOTrainer:
         self._total_steps = 0
         self._updates_since_aux = 0
         self._round_counter = 0
+        # Imported lazily: repro.bench pulls in the benchmark harness (which
+        # itself imports repro.core), so a module-level import would cycle.
+        from ..bench.profiling import SectionTimers
+
+        #: Wall-clock breakdown of training phases ("rollout", "update",
+        #: "aux", plus the nested "optimizer" slice of each update).
+        self.timers = SectionTimers()
+
+    def _use_fused_updates(self) -> bool:
+        """Whether this update should run the fused training path.
+
+        First call resolves the support gate; an unsupported configuration
+        warns once (``RuntimeWarning`` naming the reason, in the style of
+        ``fastinfer.why_slow``) and every later call falls back silently.
+        """
+        if self.training_path != "fused":
+            return False
+        if not self._fused_checked:
+            self._fused_checked = True
+            self._fused_reason = fastgrad.fused_training_reason(
+                self.policy, clusters=self.env.clusters
+            )
+            if self._fused_reason is not None:
+                warnings.warn(
+                    f"training_path='fused' falling back to the tape: {self._fused_reason}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                self._arena = fastgrad.Arena()
+        return self._fused_reason is None
 
     @property
     def vectorized(self) -> bool:
@@ -211,6 +253,14 @@ class PPOTrainer:
         """
         if self.vectorized:
             return self._update_batched(buffer)
+        if self.training_path == "fused" and not self._fused_checked:
+            self._fused_checked = True
+            self._fused_reason = "sequential (num_envs=1) updates always use the tape path"
+            warnings.warn(
+                f"training_path='fused' falling back to the tape: {self._fused_reason}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         buffer.normalized_advantages()
         clusters = self.env.clusters
         policy_losses, value_losses = [], []
@@ -239,14 +289,15 @@ class PPOTrainer:
                 losses.append(loss)
                 policy_losses.append(float(clip_term.data))
                 value_losses.append(float(value_loss.data))
-            total = losses[0]
-            for extra in losses[1:]:
-                total = total + extra
-            total = total * (1.0 / len(losses))
+            # One tape node for the whole minibatch mean; the sequential
+            # accumulation order inside chained_sum keeps the result (and the
+            # backward) bit-identical to the historical per-element chain.
+            total = chained_sum(losses) * (1.0 / len(losses))
             self.optimizer.zero_grad()
             total.backward()
-            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
-            self.optimizer.step()
+            with self.timers.section("optimizer"):
+                clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+                self.optimizer.step()
         return {
             "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
             "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
@@ -261,12 +312,36 @@ class PPOTrainer:
         """
         buffer.normalized_advantages()
         clusters = self.env.clusters
+        use_fused = self._use_fused_updates()
         policy_losses, value_losses = [], []
         for _ in range(self.config.epochs_per_update):
             batch = buffer.sample(self.config.minibatch_size, self.rng)
             snapshots = [t.snapshot for t in batch]
             actions = np.array([t.action for t in batch], dtype=np.int64)
             masks = np.stack([t.mask for t in batch], axis=0)
+            if use_fused:
+                self.optimizer.zero_grad()
+                policy_loss_value, value_loss_value = fastgrad.ppo_minibatch_step(
+                    self.policy,
+                    self.plan_embeddings,
+                    snapshots,
+                    actions,
+                    masks,
+                    old_log_probs=np.array([t.log_prob for t in batch]),
+                    advantages=np.array([t.advantage for t in batch]),
+                    value_targets=np.array([t.value_target for t in batch]),
+                    clip_epsilon=self.config.clip_epsilon,
+                    value_coef=self.config.value_coef,
+                    entropy_coef=self.config.entropy_coef,
+                    arena=self._arena,
+                )
+                with self.timers.section("optimizer"):
+                    clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+                    self.optimizer.step()
+                self._arena.reset()
+                policy_losses.append(policy_loss_value)
+                value_losses.append(value_loss_value)
+                continue
             old_log_probs = Tensor(np.array([t.log_prob for t in batch]))
             advantages = Tensor(np.array([t.advantage for t in batch]))
             value_targets = Tensor(np.array([t.value_target for t in batch]))
@@ -284,8 +359,9 @@ class PPOTrainer:
             loss = policy_loss + self.config.value_coef * value_loss - self.config.entropy_coef * entropy
             self.optimizer.zero_grad()
             loss.backward()
-            clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
-            self.optimizer.step()
+            with self.timers.section("optimizer"):
+                clip_grad_norm(self.policy.parameters(), self.config.max_grad_norm)
+                self.optimizer.step()
             policy_losses.append(float(policy_loss.data))
             value_losses.append(float(value_loss.data))
         return {
@@ -303,12 +379,15 @@ class PPOTrainer:
     def train(self, num_updates: int, eval_every: int = 2, eval_rounds: int = 1) -> TrainingHistory:
         """Alternate rollout collection and optimisation for ``num_updates`` rounds."""
         for update_index in range(num_updates):
-            buffer = self.collect_rollouts(self.config.rollouts_per_update)
-            losses = self.update(buffer)
+            with self.timers.section("rollout"):
+                buffer = self.collect_rollouts(self.config.rollouts_per_update)
+            with self.timers.section("update"):
+                losses = self.update(buffer)
             self._updates_since_aux += 1
             aux_loss = 0.0
             if self._updates_since_aux >= self.config.aux_every:
-                aux_loss = self.auxiliary_phase(buffer)
+                with self.timers.section("aux"):
+                    aux_loss = self.auxiliary_phase(buffer)
                 self._updates_since_aux = 0
             self.history.steps.append(self._total_steps)
             self.history.train_rewards.append(float(np.mean(buffer.episode_rewards())))

@@ -5,7 +5,7 @@ of those frameworks that BQSched actually needs so the reproduction has no
 binary dependencies.
 """
 
-from .tensor import Tensor, concatenate, no_grad, stack, where
+from .tensor import Tensor, chained_sum, concatenate, no_grad, stack, where
 from .functional import (
     cross_entropy,
     entropy,
@@ -29,17 +29,20 @@ from .layers import (
 )
 from .attention import AttentionBlock, AttentionEncoder, MultiHeadAttention
 from . import fastinfer
+from . import fastgrad
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
 from .serialization import Checkpoint, load_module, save_module
 from . import backend
 
 __all__ = [
     "Tensor",
+    "chained_sum",
     "concatenate",
     "stack",
     "where",
     "no_grad",
     "fastinfer",
+    "fastgrad",
     "backend",
     "cross_entropy",
     "entropy",

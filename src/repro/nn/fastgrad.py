@@ -1,0 +1,848 @@
+"""Tape-free fused training kernels: stacked forward + analytic backward.
+
+The training twin of :mod:`repro.nn.fastinfer`.  Where ``fastinfer`` removes
+the autograd tape from *inference*, this module removes it from *training*:
+each kernel runs the whole-minibatch stacked forward as a flat sequence of
+fused NumPy ops, saves only the activations its hand-derived backward needs
+(in preallocated :class:`Arena` buffers), and the matching ``*_backward``
+accumulates analytic gradients directly into ``Parameter.grad`` — no
+per-op closures, no tape walk, no per-primitive temporaries.
+
+Every kernel replicates the tape's forward expression order (``sum * (1/n)``
+means, shift-by-max softmax, centered-square variances), so forwards agree
+with the define-by-run path to rounding and gradients match the tape at
+``atol=1e-9`` in float64 (pinned in ``tests/test_fastgrad.py``, together
+with central-difference gradchecks).
+
+Layered like ``fastinfer``:
+
+* layer kernels — linear+activation MLP blocks, layer/batch norm,
+  fused-QKV multi-head attention, masked log-softmax;
+* the encoder kernel — :func:`encode_state_batch` mirrors
+  ``StateEncoder.encode_batch``;
+* trainer steps — :func:`ppo_minibatch_step`, :func:`ppg_aux_step`,
+  :func:`iq_ppo_aux_step` and :func:`perfmodel_example_step` fuse the loss
+  forward + backward of one optimizer step;
+* a ``why_slow``-style gate — :func:`fused_training_reason` /
+  :func:`perfmodel_training_reason` return a human-readable reason when a
+  module configuration is not covered, so callers can fall back audibly.
+
+Gradient-ownership contract: gradients written into ``Parameter.grad`` are
+always freshly-owned arrays (or disjoint views of one), never arena buffers,
+because the arena recycles its buffers at :meth:`Arena.reset` while grads
+must survive until the optimizer step (and are scaled in place by
+``clip_grad_norm``).  Parameters that receive no gradient flow keep
+``grad is None`` — exactly like the tape — so ``Adam`` skips them instead
+of decaying their moments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from . import fastinfer
+from .attention import AttentionBlock, AttentionEncoder, MultiHeadAttention
+from .layers import MLP, Activation, BatchNorm, LayerNorm, Linear, Parameter
+
+__all__ = [
+    "Arena",
+    "mlp_forward",
+    "mlp_backward",
+    "layer_norm_forward",
+    "layer_norm_backward",
+    "batch_norm_forward",
+    "batch_norm_backward",
+    "mha_forward",
+    "mha_backward",
+    "attention_encoder_forward",
+    "attention_encoder_backward",
+    "masked_log_softmax_forward",
+    "masked_log_softmax_backward",
+    "encode_state_batch",
+    "encode_state_batch_backward",
+    "fused_training_reason",
+    "supports_fused_training",
+    "perfmodel_training_reason",
+    "ppo_minibatch_step",
+    "ppg_aux_step",
+    "iq_ppo_aux_step",
+    "perfmodel_example_step",
+]
+
+
+class Arena:
+    """A recycling pool of preallocated float64 buffers for one training step.
+
+    ``empty(shape)`` hands out a buffer (reusing a previously returned one of
+    the same shape when available); ``reset()`` returns every outstanding
+    buffer to the pool.  Callers reset once per optimizer step, after the
+    gradients have been consumed — saved activations live in arena buffers,
+    parameter gradients never do (see the module docstring contract).
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
+        self._used: list[tuple[tuple[tuple[int, ...], np.dtype], np.ndarray]] = []
+
+    def empty(self, shape: Sequence[int], dtype: "np.dtype | type" = np.float64) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        pool = self._free.get(key)
+        buf = pool.pop() if pool else np.empty(key[0], dtype=key[1])
+        self._used.append((key, buf))
+        return buf
+
+    def reset(self) -> None:
+        for key, buf in self._used:
+            self._free.setdefault(key, []).append(buf)
+        self._used.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._used) + sum(len(pool) for pool in self._free.values())
+
+
+def _accum(param: Parameter, grad: np.ndarray) -> None:
+    """Accumulate ``grad`` into ``param.grad`` (fresh-array semantics).
+
+    ``grad`` must be freshly owned by the caller (a matmul/ufunc result or a
+    disjoint view of one) — it is installed directly on first accumulation.
+    """
+    if param.grad is None:
+        param.grad = grad
+    else:
+        param.grad += grad
+
+
+# --------------------------------------------------------------------------- #
+# MLP blocks (fused linear + activation)
+# --------------------------------------------------------------------------- #
+
+_SUPPORTED_ACTIVATIONS = ("tanh", "relu", "sigmoid", "identity")
+
+
+def _mlp_blocks(mlp: MLP) -> "list[tuple[Linear, str | None]]":
+    """Parse an MLP's Sequential into ``(linear, activation_name)`` blocks.
+
+    The parse is cached on the MLP instance — layer structure is fixed after
+    construction, and the cache holds the Linear modules themselves (not
+    their arrays), so parameter updates never invalidate it.
+    """
+    cached = getattr(mlp, "_fastgrad_blocks", None)
+    if cached is not None:
+        return cached
+    blocks: list[tuple[Linear, str | None]] = []
+    for module in mlp.net:
+        if isinstance(module, Linear):
+            blocks.append((module, None))
+        elif isinstance(module, Activation):
+            if not blocks or blocks[-1][1] is not None:
+                raise ValueError("activation without a preceding linear layer")
+            linear, _ = blocks[-1]
+            blocks[-1] = (linear, None if module.name == "identity" else module.name)
+        else:
+            raise ValueError(f"unsupported module inside MLP: {type(module).__name__}")
+    mlp._fastgrad_blocks = blocks
+    return blocks
+
+
+def _linear_forward(linear: Linear, x: np.ndarray, arena: Arena) -> np.ndarray:
+    out = arena.empty(x.shape[:-1] + (linear.weight.data.shape[1],))
+    np.matmul(x, linear.weight.data, out=out)
+    if linear.bias is not None:
+        out += linear.bias.data
+    return out
+
+
+def mlp_forward(mlp: MLP, x: np.ndarray, arena: Arena) -> "tuple[np.ndarray, list]":
+    """Stacked MLP forward; returns ``(output, ctx)`` for :func:`mlp_backward`.
+
+    ``ctx`` saves, per block, the block input and the post-activation output —
+    all the analytic backward needs (tanh/relu/sigmoid derivatives are
+    expressible from the output alone).
+    """
+    ctx = []
+    for linear, act in _mlp_blocks(mlp):
+        pre = _linear_forward(linear, x, arena)
+        if act == "tanh":
+            y = np.tanh(pre, out=pre)
+        elif act == "relu":
+            y = np.multiply(pre, pre > 0, out=pre)
+        elif act == "sigmoid":
+            np.negative(pre, out=pre)
+            np.exp(pre, out=pre)
+            pre += 1.0
+            y = np.reciprocal(pre, out=pre)
+        else:
+            y = pre
+        ctx.append((x, y))
+        x = y
+    return x, ctx
+
+
+def mlp_backward(
+    mlp: MLP,
+    ctx: list,
+    g: np.ndarray,
+    arena: Arena,
+    need_input_grad: bool = True,
+) -> "np.ndarray | None":
+    """Analytic MLP backward; accumulates weight/bias grads, returns ``g_x``.
+
+    Never mutates ``g`` (callers reuse it for residual branches).
+    """
+    blocks = _mlp_blocks(mlp)
+    for index in range(len(blocks) - 1, -1, -1):
+        linear, act = blocks[index]
+        x, y = ctx[index]
+        if act == "tanh":
+            d = np.multiply(y, y, out=arena.empty(y.shape))
+            np.subtract(1.0, d, out=d)
+            g = np.multiply(g, d, out=d)
+        elif act == "relu":
+            g = np.multiply(g, y > 0, out=arena.empty(y.shape))
+        elif act == "sigmoid":
+            d = np.subtract(1.0, y, out=arena.empty(y.shape))
+            d *= y
+            g = np.multiply(g, d, out=d)
+        if g.ndim > 2:
+            gf = g.reshape(-1, g.shape[-1])
+            xf = x.reshape(-1, x.shape[-1])
+        else:
+            gf, xf = g, x
+        _accum(linear.weight, xf.T @ gf)
+        if linear.bias is not None:
+            _accum(linear.bias, gf.sum(axis=0))
+        if index > 0 or need_input_grad:
+            g = (gf @ linear.weight.data.T).reshape(x.shape)
+    return g if need_input_grad else None
+
+
+# --------------------------------------------------------------------------- #
+# Normalisation layers
+# --------------------------------------------------------------------------- #
+
+def layer_norm_forward(norm: LayerNorm, x: np.ndarray, arena: Arena) -> "tuple[np.ndarray, tuple]":
+    """LayerNorm over the last axis; tape-identical expression order."""
+    inv_n = 1.0 / x.shape[-1]
+    mu = x.sum(axis=-1, keepdims=True) * inv_n
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv_n
+    denom = (var + norm.eps) ** 0.5
+    x_hat = np.divide(centered, denom, out=centered)
+    out = arena.empty(x.shape)
+    np.multiply(x_hat, norm.gamma.data, out=out)
+    out += norm.beta.data
+    return out, (x_hat, 1.0 / denom, inv_n, -1, True)
+
+
+def batch_norm_forward(norm: BatchNorm, x: np.ndarray, arena: Arena) -> "tuple[np.ndarray, tuple]":
+    """BatchNorm (2-D axis-0 / 3-D per-element token axis-1), train or eval.
+
+    Replicates the tape forward including the running-statistics side
+    effects, so a fused training run drifts the running stats exactly like
+    the tape path does.
+    """
+    axis = 1 if x.ndim == 3 else 0
+    train = norm.training and x.shape[axis] > 1
+    if train:
+        inv_n = 1.0 / x.shape[axis]
+        mu = x.sum(axis=axis, keepdims=True) * inv_n
+        centered = x - mu
+        var = (centered * centered).sum(axis=axis, keepdims=True) * inv_n
+        if x.ndim == 3:
+            batch_mean = mu.reshape(x.shape[0], -1).mean(axis=0)
+            batch_var = var.reshape(x.shape[0], -1).mean(axis=0)
+        else:
+            batch_mean = mu.reshape(-1)
+            batch_var = var.reshape(-1)
+        norm.running_mean = (1 - norm.momentum) * norm.running_mean + norm.momentum * batch_mean
+        norm.running_var = (1 - norm.momentum) * norm.running_var + norm.momentum * batch_var
+        inv_count: "float | None" = inv_n
+    else:
+        shape = (1, 1, -1) if x.ndim == 3 else (1, -1)
+        mu = norm.running_mean.reshape(shape)
+        var = norm.running_var.reshape(shape)
+        centered = x - mu
+        inv_count = None
+    denom = (var + norm.eps) ** 0.5
+    x_hat = np.divide(centered, denom, out=centered)
+    out = arena.empty(x.shape)
+    np.multiply(x_hat, norm.gamma.data, out=out)
+    out += norm.beta.data
+    return out, (x_hat, 1.0 / denom, inv_count, axis, train)
+
+
+def _norm_backward_common(
+    norm: "LayerNorm | BatchNorm", ctx: tuple, g: np.ndarray
+) -> np.ndarray:
+    x_hat, inv_std, inv_count, axis, train = ctx
+    reduce_axes = tuple(range(g.ndim - 1))
+    _accum(norm.gamma, (g * x_hat).sum(axis=reduce_axes))
+    _accum(norm.beta, g.sum(axis=reduce_axes))
+    g_xhat = g * norm.gamma.data
+    if not train:
+        # Eval / single-row mode: mu and var are constants, the map is affine.
+        return np.multiply(g_xhat, inv_std, out=g_xhat)
+    mean_g = g_xhat.sum(axis=axis, keepdims=True) * inv_count
+    mean_gx = (g_xhat * x_hat).sum(axis=axis, keepdims=True) * inv_count
+    g_xhat -= mean_g
+    g_xhat -= x_hat * mean_gx
+    return np.multiply(g_xhat, inv_std, out=g_xhat)
+
+
+def layer_norm_backward(norm: LayerNorm, ctx: tuple, g: np.ndarray) -> np.ndarray:
+    return _norm_backward_common(norm, ctx, g)
+
+
+def batch_norm_backward(norm: BatchNorm, ctx: tuple, g: np.ndarray) -> np.ndarray:
+    return _norm_backward_common(norm, ctx, g)
+
+
+def _norm_forward(norm: Any, x: np.ndarray, arena: Arena) -> "tuple[np.ndarray, tuple]":
+    if isinstance(norm, LayerNorm):
+        return layer_norm_forward(norm, x, arena)
+    if isinstance(norm, BatchNorm):
+        return batch_norm_forward(norm, x, arena)
+    raise TypeError(f"unsupported norm {type(norm).__name__}")
+
+
+def _norm_backward(norm: Any, ctx: tuple, g: np.ndarray) -> np.ndarray:
+    return _norm_backward_common(norm, ctx, g)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-head attention (fused QKV)
+# --------------------------------------------------------------------------- #
+
+def mha_forward(
+    attention: MultiHeadAttention,
+    x: np.ndarray,
+    arena: Arena,
+    bias: "np.ndarray | None" = None,
+) -> "tuple[np.ndarray, tuple]":
+    """Batched ``(B, tokens, D)`` self-attention with one fused QKV GEMM."""
+    batch, tokens, model_dim = x.shape
+    heads, head_dim = attention.num_heads, attention.head_dim
+    qkv_weight, qkv_bias = fastinfer._fused_qkv(attention)
+    x2 = x.reshape(batch * tokens, model_dim)
+    # Strided (not flattened) float64 GEMM, matching the tape's `x @ W`
+    # dispatch exactly; fastinfer keeps the same form for bit-parity.
+    qkv = arena.empty((batch, tokens, 3 * model_dim))
+    np.matmul(x, qkv_weight, out=qkv)
+    qkv += qkv_bias
+    qkv5 = qkv.reshape(batch, tokens, 3, heads, head_dim)
+    queries = qkv5[:, :, 0].transpose(0, 2, 1, 3)
+    keys = qkv5[:, :, 1].transpose(0, 2, 1, 3)
+    values = qkv5[:, :, 2].transpose(0, 2, 1, 3)
+    scale = 1.0 / np.sqrt(head_dim)
+    scores = (queries @ keys.transpose(0, 1, 3, 2)) * scale
+    if bias is not None:
+        scores = scores + np.asarray(bias, dtype=np.float64)[None, None, :, :]
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted, out=shifted)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    mixed = (weights @ values).transpose(0, 2, 1, 3).reshape(batch, tokens, model_dim)
+    out = arena.empty(x.shape)
+    np.matmul(mixed, attention.out_proj.weight.data, out=out)
+    out += attention.out_proj.bias.data
+    return out, (x2, queries, keys, values, weights, mixed, scale)
+
+
+def mha_backward(
+    attention: MultiHeadAttention, ctx: tuple, g: np.ndarray, arena: Arena
+) -> np.ndarray:
+    x2, queries, keys, values, weights, mixed, scale = ctx
+    batch, tokens, model_dim = g.shape
+    heads, head_dim = attention.num_heads, attention.head_dim
+    g2 = g.reshape(batch * tokens, model_dim)
+    mixed2 = mixed.reshape(batch * tokens, model_dim)
+    _accum(attention.out_proj.weight, mixed2.T @ g2)
+    _accum(attention.out_proj.bias, g2.sum(axis=0))
+    g_mixed = (g2 @ attention.out_proj.weight.data.T).reshape(
+        batch, tokens, heads, head_dim
+    ).transpose(0, 2, 1, 3)
+    g_weights = g_mixed @ values.swapaxes(-1, -2)
+    g_values = weights.swapaxes(-1, -2) @ g_mixed
+    # Softmax backward: P * (g - <g, P>); the additive bias (if any) is a
+    # constant, so g_scores flows straight through to the QKV projections.
+    g_scores = weights * (g_weights - (g_weights * weights).sum(axis=-1, keepdims=True))
+    g_scores *= scale
+    g_queries = g_scores @ keys
+    g_keys = g_scores.swapaxes(-1, -2) @ queries
+    g_qkv = arena.empty((batch, tokens, 3, heads, head_dim))
+    g_qkv[:, :, 0] = g_queries.transpose(0, 2, 1, 3)
+    g_qkv[:, :, 1] = g_keys.transpose(0, 2, 1, 3)
+    g_qkv[:, :, 2] = g_values.transpose(0, 2, 1, 3)
+    gf = g_qkv.reshape(batch * tokens, 3 * model_dim)
+    g_weight = x2.T @ gf
+    g_bias = gf.sum(axis=0)
+    projections = (attention.query_proj, attention.key_proj, attention.value_proj)
+    for index, proj in enumerate(projections):
+        sl = slice(index * model_dim, (index + 1) * model_dim)
+        _accum(proj.weight, g_weight[:, sl])
+        _accum(proj.bias, g_bias[sl])
+    qkv_weight, _ = fastinfer._fused_qkv(attention)
+    return (gf @ qkv_weight.T).reshape(batch, tokens, model_dim)
+
+
+# --------------------------------------------------------------------------- #
+# Attention encoder (block = MHA + FF, residual + norm)
+# --------------------------------------------------------------------------- #
+
+def _attention_block_forward(
+    block: AttentionBlock, x: np.ndarray, arena: Arena, bias: "np.ndarray | None" = None
+) -> "tuple[np.ndarray, tuple]":
+    att_out, mha_ctx = mha_forward(block.attention, x, arena, bias=bias)
+    pre1 = x + att_out
+    normed1, n1_ctx = _norm_forward(block.norm1, pre1, arena)
+    ff_out, ff_ctx = mlp_forward(block.feedforward, normed1, arena)
+    pre2 = normed1 + ff_out
+    out, n2_ctx = _norm_forward(block.norm2, pre2, arena)
+    return out, (mha_ctx, n1_ctx, ff_ctx, n2_ctx)
+
+
+def _attention_block_backward(
+    block: AttentionBlock, ctx: tuple, g: np.ndarray, arena: Arena
+) -> np.ndarray:
+    mha_ctx, n1_ctx, ff_ctx, n2_ctx = ctx
+    g_pre2 = _norm_backward(block.norm2, n2_ctx, g)
+    g_normed1 = g_pre2 + mlp_backward(block.feedforward, ff_ctx, g_pre2, arena)
+    g_pre1 = _norm_backward(block.norm1, n1_ctx, g_normed1)
+    return g_pre1 + mha_backward(block.attention, mha_ctx, g_pre1, arena)
+
+
+def attention_encoder_forward(
+    encoder: AttentionEncoder, x: np.ndarray, arena: Arena, bias: "np.ndarray | None" = None
+) -> "tuple[np.ndarray, list]":
+    ctx = []
+    for index in range(encoder.num_layers):
+        block = encoder._modules[f"block_{index}"]
+        x, block_ctx = _attention_block_forward(block, x, arena, bias=bias)
+        ctx.append(block_ctx)
+    return x, ctx
+
+
+def attention_encoder_backward(
+    encoder: AttentionEncoder, ctx: list, g: np.ndarray, arena: Arena
+) -> np.ndarray:
+    for index in range(encoder.num_layers - 1, -1, -1):
+        block = encoder._modules[f"block_{index}"]
+        g = _attention_block_backward(block, ctx[index], g, arena)
+    return g
+
+
+# --------------------------------------------------------------------------- #
+# Masked log-softmax
+# --------------------------------------------------------------------------- #
+
+def masked_log_softmax_forward(
+    logits: np.ndarray, mask: np.ndarray, mask_value: float = -1e8
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Returns ``(log_probs, softmax)``; ``softmax`` is the backward ctx."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != logits.shape:
+        raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
+    if not np.all(mask.any(axis=-1)):
+        raise ValueError("masked_log_softmax requires at least one unmasked entry")
+    offset = np.where(mask, 0.0, mask_value)
+    data = logits + offset
+    shifted = data - data.max(axis=-1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_sum
+    return log_probs, np.exp(log_probs)
+
+
+def masked_log_softmax_backward(softmax: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """The mask offset is additive, so the gradient w.r.t. logits is direct."""
+    return g - softmax * g.sum(axis=-1, keepdims=True)
+
+
+def log_softmax_forward(logits: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Plain log-softmax over the last axis; returns ``(log_probs, softmax)``."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_sum
+    return log_probs, np.exp(log_probs)
+
+
+# --------------------------------------------------------------------------- #
+# State-encoder kernel (mirrors StateEncoder.encode_batch)
+# --------------------------------------------------------------------------- #
+
+def encode_state_batch(
+    encoder: Any,
+    plan_embeddings: np.ndarray,
+    snapshots: list,
+    arena: Arena,
+    need_global: bool = True,
+) -> "tuple[np.ndarray, np.ndarray | None, tuple]":
+    """Fused twin of ``StateEncoder.encode_batch``.
+
+    Returns ``(per_query, global_state, ctx)``.  When ``need_global`` is
+    False the global MLP forward is skipped entirely (its output receives no
+    gradient in the PPG/IQ-PPO aux phases and the MLP is stateless, so
+    skipping it is unobservable).
+    """
+    inputs, run_features, pooled_all, pooled_running = encoder._batch_inputs(
+        plan_embeddings, snapshots
+    )
+    batch, num_queries = run_features.shape[0], run_features.shape[1]
+    state_dim = encoder.super_query.data.shape[1]
+    tokens, qm_ctx = mlp_forward(encoder.query_mlp, inputs, arena)
+    sequence = arena.empty((batch, num_queries + 1, state_dim))
+    sequence[:, :num_queries] = tokens
+    sequence[:, num_queries] = encoder.super_query.data.reshape(1, -1)
+    if encoder.use_attention:
+        encoded, att_ctx = attention_encoder_forward(encoder.attention, sequence, arena)
+    else:
+        encoded, att_ctx = sequence, None
+    encoded_queries = encoded[:, :num_queries]
+    encoded_super = encoded[:, num_queries]
+    if need_global:
+        global_in = np.concatenate([encoded_super, pooled_all], axis=1)
+        global_state, gm_ctx = mlp_forward(encoder.global_mlp, global_in, arena)
+    else:
+        global_state, gm_ctx = None, None
+    pooled_dim = pooled_running.shape[1]
+    pq_in = arena.empty((batch, num_queries, 2 * state_dim + pooled_dim))
+    pq_in[:, :, :state_dim] = encoded_queries
+    pq_in[:, :, state_dim : 2 * state_dim] = encoded_super[:, None, :]
+    pq_in[:, :, 2 * state_dim :] = pooled_running[:, None, :]
+    per_query, qo_ctx = mlp_forward(encoder.query_out_mlp, pq_in, arena)
+    ctx = (qm_ctx, att_ctx, gm_ctx, qo_ctx, batch, num_queries, state_dim)
+    return per_query, global_state, ctx
+
+
+def encode_state_batch_backward(
+    encoder: Any,
+    ctx: tuple,
+    g_per_query: np.ndarray,
+    g_global: "np.ndarray | None",
+    arena: Arena,
+) -> None:
+    qm_ctx, att_ctx, gm_ctx, qo_ctx, batch, num_queries, state_dim = ctx
+    g_pq_in = mlp_backward(encoder.query_out_mlp, qo_ctx, g_per_query, arena)
+    g_encoded = arena.empty((batch, num_queries + 1, state_dim))
+    g_encoded[:, :num_queries] = g_pq_in[:, :, :state_dim]
+    g_super = g_pq_in[:, :, state_dim : 2 * state_dim].sum(axis=1)
+    if g_global is not None:
+        g_global_in = mlp_backward(encoder.global_mlp, gm_ctx, g_global, arena)
+        g_super = g_super + g_global_in[:, :state_dim]
+    g_encoded[:, num_queries] = g_super
+    if att_ctx is not None:
+        g_sequence = attention_encoder_backward(encoder.attention, att_ctx, g_encoded, arena)
+    else:
+        g_sequence = g_encoded
+    _accum(encoder.super_query, g_sequence[:, num_queries].sum(axis=0).reshape(1, -1))
+    mlp_backward(
+        encoder.query_mlp, qm_ctx, g_sequence[:, :num_queries], arena, need_input_grad=False
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Support gates (the why_slow of training)
+# --------------------------------------------------------------------------- #
+
+def _mlp_reason(mlp: Any, name: str) -> "str | None":
+    if not isinstance(mlp, MLP):
+        return f"{name} is {type(mlp).__name__}, not MLP"
+    try:
+        blocks = _mlp_blocks(mlp)
+    except ValueError as exc:
+        return f"{name}: {exc}"
+    for _, act in blocks:
+        if act is not None and act not in ("tanh", "relu", "sigmoid"):
+            return f"{name} uses unsupported activation {act!r}"
+    for linear, _ in blocks:
+        if linear.bias is None:
+            return f"{name} has a bias-free linear layer"
+    return None
+
+
+def _encoder_reason(encoder: Any) -> "str | None":
+    if not isinstance(encoder, AttentionEncoder):
+        return f"attention encoder is {type(encoder).__name__}"
+    for index in range(encoder.num_layers):
+        block = encoder._modules.get(f"block_{index}")
+        if not isinstance(block, AttentionBlock):
+            return f"block_{index} is {type(block).__name__}"
+        if not isinstance(block.norm1, (LayerNorm, BatchNorm)) or not isinstance(
+            block.norm2, (LayerNorm, BatchNorm)
+        ):
+            return f"block_{index} uses an unsupported norm"
+        reason = _mlp_reason(block.feedforward, f"block_{index}.feedforward")
+        if reason:
+            return reason
+        for proj_name in ("query_proj", "key_proj", "value_proj", "out_proj"):
+            proj = getattr(block.attention, proj_name)
+            if proj.bias is None:
+                return f"block_{index}.attention.{proj_name} has no bias"
+    return None
+
+
+def fused_training_reason(policy: Any, clusters: Any = None) -> "str | None":
+    """Why the fused training path cannot run for this policy (None = it can).
+
+    The training counterpart of ``fastinfer.fast_inference_reason``: callers
+    treat a non-None reason as "fall back to the tape, audibly".
+    """
+    if clusters is not None:
+        return "cluster-level action pooling is not covered by the fused path"
+    encoder = policy.state_encoder
+    if getattr(encoder, "use_attention", True):
+        reason = _encoder_reason(encoder.attention)
+        if reason:
+            return reason
+    for name in ("query_mlp", "global_mlp", "query_out_mlp"):
+        reason = _mlp_reason(getattr(encoder, name), name)
+        if reason:
+            return reason
+    for name in ("policy_head", "value_head", "aux_head"):
+        reason = _mlp_reason(getattr(policy, name), name)
+        if reason:
+            return reason
+    return None
+
+
+def supports_fused_training(policy: Any, clusters: Any = None) -> bool:
+    return fused_training_reason(policy, clusters=clusters) is None
+
+
+def perfmodel_training_reason(model: Any) -> "str | None":
+    """Why fused fitting cannot run for a ``ConcurrentPredictionModel``."""
+    if model.input_proj.bias is None:
+        return "input_proj has no bias"
+    if getattr(model, "use_attention", False):
+        reason = _encoder_reason(model.encoder)
+        if reason:
+            return reason
+    for name in ("classifier", "regressor"):
+        reason = _mlp_reason(getattr(model, name), name)
+        if reason:
+            return reason
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Trainer-level fused steps
+# --------------------------------------------------------------------------- #
+
+def ppo_minibatch_step(
+    policy: Any,
+    plan_embeddings: np.ndarray,
+    snapshots: list,
+    actions: np.ndarray,
+    masks: np.ndarray,
+    old_log_probs: np.ndarray,
+    advantages: np.ndarray,
+    value_targets: np.ndarray,
+    clip_epsilon: float,
+    value_coef: float,
+    entropy_coef: float,
+    arena: Arena,
+) -> "tuple[float, float]":
+    """One fused PPO minibatch forward + backward.
+
+    Accumulates gradients into the policy parameters (the caller zeroes
+    grads before and clips/steps after) and returns
+    ``(policy_loss, value_loss)`` as floats.  The aux head receives no
+    gradient, matching the tape (its ``grad`` stays ``None``).
+    """
+    batch = len(snapshots)
+    rows = np.arange(batch)
+    actions = np.asarray(actions, dtype=np.int64)
+    encoder = policy.state_encoder
+    per_query, global_state, enc_ctx = encode_state_batch(
+        encoder, plan_embeddings, snapshots, arena, need_global=True
+    )
+    num_queries = per_query.shape[1]
+    logits3, ph_ctx = mlp_forward(policy.policy_head, per_query, arena)
+    logits = logits3.reshape(batch, num_queries * policy.num_configs)
+    log_probs, softmax = masked_log_softmax_forward(logits, masks)
+    taken = log_probs[rows, actions]
+    probs = softmax
+    values3, vh_ctx = mlp_forward(policy.value_head, global_state, arena)
+    values = values3.reshape(batch)
+
+    ratio = np.exp(taken - old_log_probs)
+    surrogate1 = ratio * advantages
+    clipped_ratio = np.clip(ratio, 1.0 - clip_epsilon, 1.0 + clip_epsilon)
+    surrogate2 = clipped_ratio * advantages
+    choose1 = surrogate1 <= surrogate2
+    clipped = np.where(choose1, surrogate1, surrogate2)
+    policy_loss = -float(clipped.mean())
+    value_error = values - value_targets
+    value_loss = 0.5 * float((value_error * value_error).mean())
+
+    inv_b = 1.0 / batch
+    # d/d ratio of the clipped surrogate: through surrogate1 where it is the
+    # min, through surrogate2 only where the clip is inactive.
+    in_range = (ratio >= 1.0 - clip_epsilon) & (ratio <= 1.0 + clip_epsilon)
+    g_ratio = np.where(choose1, advantages, advantages * in_range) * (-inv_b)
+    g_taken = g_ratio * ratio
+    # Entropy bonus: d/d log_probs of -c_e * mean(-(p * lp).sum()) with
+    # p = exp(lp) gives +c_e/B * p * (lp + 1).
+    g_log_probs = (entropy_coef * inv_b) * (probs * (log_probs + 1.0))
+    g_log_probs[rows, actions] += g_taken
+    g_logits = masked_log_softmax_backward(softmax, g_log_probs)
+    g_per_query = mlp_backward(
+        policy.policy_head, ph_ctx, g_logits.reshape(batch, num_queries, policy.num_configs), arena
+    )
+    g_values = (value_coef * inv_b) * value_error
+    g_global = mlp_backward(policy.value_head, vh_ctx, g_values.reshape(batch, 1), arena)
+    encode_state_batch_backward(encoder, enc_ctx, g_per_query, g_global, arena)
+    return policy_loss, value_loss
+
+
+def _clone_backward_setup(
+    old_log_probs: np.ndarray, beta_clone: float, batch: int
+) -> np.ndarray:
+    """d/d new_log_probs of ``beta * mean((p_old * (old - new)).sum(-1))``."""
+    return (-beta_clone / batch) * np.exp(old_log_probs)
+
+
+def ppg_aux_step(
+    policy: Any,
+    plan_embeddings: np.ndarray,
+    snapshots: list,
+    masks: np.ndarray,
+    old_log_probs: np.ndarray,
+    value_targets: np.ndarray,
+    beta_clone: float,
+    arena: Arena,
+) -> float:
+    """One fused PPG auxiliary epoch step (aux value distillation + clone).
+
+    Value head and global MLP receive no gradient (their grads stay None),
+    matching the tape where the aux loss never touches the value path.
+    """
+    batch = len(snapshots)
+    encoder = policy.state_encoder
+    per_query, _, enc_ctx = encode_state_batch(
+        encoder, plan_embeddings, snapshots, arena, need_global=False
+    )
+    num_queries = per_query.shape[1]
+    predicted3, ah_ctx = mlp_forward(policy.aux_head, per_query, arena)
+    predicted = predicted3.reshape(batch, num_queries)
+    inv_n = 1.0 / num_queries
+    value_predictions = predicted.sum(axis=-1) * inv_n
+    logits3, ph_ctx = mlp_forward(policy.policy_head, per_query, arena)
+    logits = logits3.reshape(batch, num_queries * policy.num_configs)
+    new_log_probs, softmax = masked_log_softmax_forward(logits, masks)
+
+    aux_error = value_predictions - value_targets
+    aux_loss = 0.5 * float((aux_error * aux_error).mean())
+    p_old = np.exp(old_log_probs)
+    clone = float((p_old * (old_log_probs - new_log_probs)).sum(axis=-1).mean())
+    total = aux_loss + beta_clone * clone
+
+    inv_b = 1.0 / batch
+    g_vp = aux_error * inv_b
+    g_predicted = np.broadcast_to((g_vp * inv_n)[:, None, None], (batch, num_queries, 1))
+    g_per_query = mlp_backward(policy.aux_head, ah_ctx, g_predicted, arena)
+    g_new_log_probs = _clone_backward_setup(old_log_probs, beta_clone, batch)
+    g_logits = masked_log_softmax_backward(softmax, g_new_log_probs)
+    g_per_query += mlp_backward(
+        policy.policy_head, ph_ctx, g_logits.reshape(batch, num_queries, policy.num_configs), arena
+    )
+    encode_state_batch_backward(encoder, enc_ctx, g_per_query, None, arena)
+    return total
+
+
+def iq_ppo_aux_step(
+    policy: Any,
+    plan_embeddings: np.ndarray,
+    snapshots: list,
+    query_ids: np.ndarray,
+    masks: np.ndarray,
+    old_log_probs: np.ndarray,
+    time_targets: np.ndarray,
+    beta_clone: float,
+    arena: Arena,
+) -> float:
+    """One fused IQ-PPO auxiliary step (finish-time regression + clone)."""
+    batch = len(snapshots)
+    rows = np.arange(batch)
+    query_ids = np.asarray(query_ids, dtype=np.int64)
+    encoder = policy.state_encoder
+    per_query, _, enc_ctx = encode_state_batch(
+        encoder, plan_embeddings, snapshots, arena, need_global=False
+    )
+    num_queries = per_query.shape[1]
+    times3, ah_ctx = mlp_forward(policy.aux_head, per_query, arena)
+    times = times3.reshape(batch, num_queries)
+    picked = times[rows, query_ids]
+    logits3, ph_ctx = mlp_forward(policy.policy_head, per_query, arena)
+    logits = logits3.reshape(batch, num_queries * policy.num_configs)
+    new_log_probs, softmax = masked_log_softmax_forward(logits, masks)
+
+    aux_error = picked - time_targets
+    aux_loss = 0.5 * float((aux_error * aux_error).mean())
+    p_old = np.exp(old_log_probs)
+    clone = float((p_old * (old_log_probs - new_log_probs)).sum(axis=-1).mean())
+    total = aux_loss + beta_clone * clone
+
+    inv_b = 1.0 / batch
+    g_times = np.zeros((batch, num_queries))
+    g_times[rows, query_ids] = aux_error * inv_b
+    g_per_query = mlp_backward(
+        policy.aux_head, ah_ctx, g_times.reshape(batch, num_queries, 1), arena
+    )
+    g_new_log_probs = _clone_backward_setup(old_log_probs, beta_clone, batch)
+    g_logits = masked_log_softmax_backward(softmax, g_new_log_probs)
+    g_per_query += mlp_backward(
+        policy.policy_head, ph_ctx, g_logits.reshape(batch, num_queries, policy.num_configs), arena
+    )
+    encode_state_batch_backward(encoder, enc_ctx, g_per_query, None, arena)
+    return total
+
+
+def perfmodel_example_step(
+    model: Any,
+    features: np.ndarray,
+    earliest_index: int,
+    regression_target: "float | None",
+    gamma_regression: float,
+    arena: Arena,
+) -> float:
+    """One fused training example for ``ConcurrentPredictionModel``.
+
+    Cross-entropy over the earliest-finish classification plus (optionally)
+    the remaining-time regression on the labelled query.  Accumulates
+    gradients into the model parameters and returns the total loss.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    num_tokens = features.shape[0]
+    pre = _linear_forward(model.input_proj, features, arena)
+    tokens0 = np.tanh(pre)
+    if model.use_attention:
+        # Canonicalize the (k, hidden) token matrix to a batch of one so the
+        # shared 3-D attention kernels apply; values match the 2-D tape path.
+        encoded3, enc_ctx = attention_encoder_forward(model.encoder, tokens0[None], arena)
+        tokens = encoded3[0]
+    else:
+        tokens, enc_ctx = tokens0, None
+    logits3, cls_ctx = mlp_forward(model.classifier, tokens, arena)
+    logits = logits3.reshape(num_tokens)
+    log_probs, softmax = log_softmax_forward(logits)
+    loss = -float(log_probs[earliest_index])
+
+    g_logits = softmax.copy()
+    g_logits[earliest_index] -= 1.0
+    g_tokens = mlp_backward(model.classifier, cls_ctx, g_logits.reshape(num_tokens, 1), arena)
+    if regression_target is not None:
+        times3, reg_ctx = mlp_forward(model.regressor, tokens, arena)
+        times = times3.reshape(num_tokens)
+        residual = times[earliest_index] - regression_target
+        loss += gamma_regression * float(residual * residual)
+        g_times = np.zeros(num_tokens)
+        g_times[earliest_index] = gamma_regression * 2.0 * residual
+        g_tokens += mlp_backward(model.regressor, reg_ctx, g_times.reshape(num_tokens, 1), arena)
+    if enc_ctx is not None:
+        g_tokens = attention_encoder_backward(model.encoder, enc_ctx, g_tokens[None], arena)[0]
+    g_pre = g_tokens * (1.0 - tokens0 * tokens0)
+    _accum(model.input_proj.weight, features.T @ g_pre)
+    _accum(model.input_proj.bias, g_pre.sum(axis=0))
+    return loss

@@ -1,4 +1,16 @@
-"""Gradient-descent optimisers for :class:`repro.nn.layers.Module` parameters."""
+"""Gradient-descent optimisers for :class:`repro.nn.layers.Module` parameters.
+
+The update loops run *in place* over per-parameter scratch buffers: one
+``step()`` allocates exactly one fresh array per parameter — the new
+``param.data`` itself.  That final allocation is deliberate, not an
+oversight: the inference fast paths (``fastinfer._F32_CACHE``, the fused
+QKV cache, the ``numpy-cached`` backend) detect parameter updates by array
+*identity*, so ``param.data`` must be replaced, never mutated.  Every
+in-place expression mirrors the original out-of-place arithmetic operation
+for operation (scalar multiplies commute, ``a + b`` is IEEE-commutative),
+so the results are bit-identical to the historical implementations —
+pinned by ``tests/test_optim_inplace.py``.
+"""
 
 from __future__ import annotations
 
@@ -23,7 +35,7 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in params:
-            param.grad = param.grad * scale
+            np.multiply(param.grad, scale, out=param.grad)
     return total
 
 
@@ -37,6 +49,12 @@ class Optimizer:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
+        self._scratch: "list[np.ndarray] | None" = None
+
+    def _scratch_buffers(self) -> "list[np.ndarray]":
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        return self._scratch
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -55,11 +73,15 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        scratch = self._scratch_buffers()
+        for param, velocity, buf in zip(self.parameters, self._velocity, scratch):
             if param.grad is None:
                 continue
             velocity *= self.momentum
-            velocity -= self.lr * param.grad
+            np.multiply(param.grad, self.lr, out=buf)
+            velocity -= buf
+            # Fresh array on purpose — identity-keyed inference caches key
+            # off param.data, so it must be replaced rather than mutated.
             param.data = param.data + velocity
 
 
@@ -81,21 +103,43 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch2: "list[np.ndarray] | None" = None
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        one_minus_beta1 = 1.0 - self.beta1
+        one_minus_beta2 = 1.0 - self.beta2
+        buf1_list = self._scratch_buffers()
+        if self._scratch2 is None:
+            self._scratch2 = [np.empty_like(p.data) for p in self.parameters]
+        for param, m, v, buf1, buf2 in zip(
+            self.parameters, self._m, self._v, buf1_list, self._scratch2
+        ):
             if param.grad is None:
                 continue
-            grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=buf1)
+                np.add(param.grad, buf1, out=buf1)
+                grad = buf1
+            else:
+                grad = param.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, one_minus_beta1, out=buf2)
+            m += buf2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.square(grad, out=buf2)
+            buf2 *= one_minus_beta2
+            v += buf2
+            # buf2 <- lr * m_hat, buf1 <- sqrt(v_hat) + eps; same op-for-op
+            # arithmetic as `lr * (m / bias1) / (sqrt(v / bias2) + eps)`.
+            np.divide(m, bias1, out=buf2)
+            buf2 *= self.lr
+            np.divide(v, bias2, out=buf1)
+            np.sqrt(buf1, out=buf1)
+            buf1 += self.eps
+            buf2 /= buf1
+            # Fresh array on purpose — identity-keyed inference caches key
+            # off param.data, so it must be replaced rather than mutated.
+            param.data = param.data - buf2

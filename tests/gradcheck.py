@@ -1,0 +1,80 @@
+"""Reusable central-finite-difference gradient checking helpers.
+
+The helpers treat a model as a black-box scalar function of its parameter
+(or input) arrays: each entry is perturbed by ``±eps`` in place and the
+loss re-evaluated, so they work for both the autograd tape and the
+tape-free :mod:`repro.nn.fastgrad` kernels.
+
+``loss_fn`` must be deterministic and side-effect free between calls.
+Modules with mutable non-parameter state (BatchNorm running statistics)
+should be wrapped with :func:`stateless` so each probe evaluation starts
+from the same state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["numeric_gradient", "assert_gradients_close", "stateless"]
+
+
+def numeric_gradient(
+    loss_fn: Callable[[], float], array: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``loss_fn`` w.r.t. ``array``.
+
+    ``array`` is perturbed entry by entry *in place* (and restored), so it
+    must be the live parameter/input buffer the loss function reads.
+    """
+    grad = np.zeros(array.shape, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        high = float(loss_fn())
+        flat[index] = original - eps
+        low = float(loss_fn())
+        flat[index] = original
+        grad_flat[index] = (high - low) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    analytic: np.ndarray,
+    numeric: np.ndarray,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+    label: str = "",
+) -> None:
+    """Assert analytic vs numeric gradients agree within tolerance."""
+    assert analytic.shape == numeric.shape, f"{label}: shape {analytic.shape} vs {numeric.shape}"
+    if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        worst = float(np.max(np.abs(analytic - numeric)))
+        raise AssertionError(f"{label}: gradcheck failed, worst abs diff {worst:.3e}")
+
+
+@contextlib.contextmanager
+def stateless(module):
+    """Restore a module's non-parameter array state on exit.
+
+    Snapshots every plain ``np.ndarray`` attribute of the module tree
+    (e.g. BatchNorm ``running_mean``/``running_var``) so repeated forward
+    evaluations during finite differencing all see the same statistics.
+    """
+    saved = []
+    stack = [module]
+    while stack:
+        node = stack.pop()
+        for name, value in vars(node).items():
+            if isinstance(value, np.ndarray):
+                saved.append((node, name, value.copy()))
+        stack.extend(getattr(node, "_modules", {}).values())
+    try:
+        yield module
+    finally:
+        for node, name, value in saved:
+            setattr(node, name, value)

@@ -1,0 +1,185 @@
+"""Bit-parity of the in-place optimiser steps vs the historical implementations.
+
+The scratch-buffer rewrites of ``SGD.step``/``Adam.step``/``clip_grad_norm``
+must produce *bit-identical* parameter trajectories (every expression was
+rewritten operation for operation), and must keep installing a fresh
+``param.data`` array each step because the inference fast paths key their
+caches off array identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, clip_grad_norm
+from repro.nn.layers import Parameter
+
+
+def reference_clip_grad_norm(parameters, max_norm):
+    """The pre-rewrite out-of-place implementation, verbatim."""
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total
+
+
+class ReferenceSGD:
+    """The pre-rewrite SGD step, verbatim."""
+
+    def __init__(self, parameters, lr=1e-2, momentum=0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.data = param.data + velocity
+
+
+class ReferenceAdam:
+    """The pre-rewrite Adam step, verbatim."""
+
+    def __init__(self, parameters, lr=3e-4, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def make_params(rng, shapes=((4, 3), (3,), (5, 5), (2,))):
+    return [Parameter(rng.normal(size=shape), name=f"p{i}") for i, shape in enumerate(shapes)]
+
+
+def clone_params(params):
+    return [Parameter(p.data.copy(), name=p.name) for p in params]
+
+
+def set_grads(params, rng, skip_index=None):
+    for index, param in enumerate(params):
+        if index == skip_index:
+            param.grad = None
+        else:
+            param.grad = rng.normal(size=param.data.shape)
+
+
+def assert_bitwise_equal(a, b, label):
+    assert a.shape == b.shape and a.dtype == b.dtype, label
+    assert a.tobytes() == b.tobytes(), f"{label}: arrays differ bitwise"
+
+
+@pytest.mark.parametrize("momentum", [0.0, 0.9])
+def test_sgd_bit_parity(momentum):
+    rng = np.random.default_rng(0)
+    params_new = make_params(rng)
+    params_ref = clone_params(params_new)
+    new = SGD(params_new, lr=0.05, momentum=momentum)
+    ref = ReferenceSGD(params_ref, lr=0.05, momentum=momentum)
+    grad_rng_a, grad_rng_b = np.random.default_rng(1), np.random.default_rng(1)
+    for step in range(5):
+        skip = 2 if step == 3 else None
+        set_grads(params_new, grad_rng_a, skip_index=skip)
+        set_grads(params_ref, grad_rng_b, skip_index=skip)
+        new.step()
+        ref.step()
+        for p_new, p_ref in zip(params_new, params_ref):
+            assert_bitwise_equal(p_new.data, p_ref.data, f"sgd step {step} {p_new.name}")
+
+
+@pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+def test_adam_bit_parity(weight_decay):
+    rng = np.random.default_rng(2)
+    params_new = make_params(rng)
+    params_ref = clone_params(params_new)
+    new = Adam(params_new, lr=3e-3, weight_decay=weight_decay)
+    ref = ReferenceAdam(params_ref, lr=3e-3, weight_decay=weight_decay)
+    grad_rng_a, grad_rng_b = np.random.default_rng(3), np.random.default_rng(3)
+    for step in range(6):
+        skip = 1 if step in (2, 4) else None
+        set_grads(params_new, grad_rng_a, skip_index=skip)
+        set_grads(params_ref, grad_rng_b, skip_index=skip)
+        new.step()
+        ref.step()
+        for p_new, p_ref in zip(params_new, params_ref):
+            assert_bitwise_equal(p_new.data, p_ref.data, f"adam step {step} {p_new.name}")
+        for m_new, m_ref in zip(new._m, ref._m):
+            assert_bitwise_equal(m_new, m_ref, f"adam step {step} first moment")
+        for v_new, v_ref in zip(new._v, ref._v):
+            assert_bitwise_equal(v_new, v_ref, f"adam step {step} second moment")
+
+
+def test_clip_grad_norm_bit_parity():
+    rng = np.random.default_rng(4)
+    for max_norm in (0.5, 1e6):
+        params_new = make_params(rng)
+        params_ref = clone_params(params_new)
+        grad_rng_a, grad_rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        set_grads(params_new, grad_rng_a, skip_index=3)
+        set_grads(params_ref, grad_rng_b, skip_index=3)
+        norm_new = clip_grad_norm(params_new, max_norm)
+        norm_ref = reference_clip_grad_norm(params_ref, max_norm)
+        assert norm_new == norm_ref
+        for p_new, p_ref in zip(params_new, params_ref):
+            if p_new.grad is None:
+                assert p_ref.grad is None
+                continue
+            assert_bitwise_equal(p_new.grad, p_ref.grad, "clipped grad")
+
+
+def test_optimizers_install_fresh_param_data():
+    """Identity-keyed inference caches require ``param.data`` replacement."""
+    rng = np.random.default_rng(6)
+    for optimizer_cls in (lambda ps: SGD(ps, lr=0.1, momentum=0.9), lambda ps: Adam(ps, lr=1e-3)):
+        params = make_params(rng)
+        optimizer = optimizer_cls(params)
+        for _ in range(3):
+            before = [id(p.data) for p in params]
+            set_grads(params, rng)
+            optimizer.step()
+            after = [id(p.data) for p in params]
+            assert all(a != b for a, b in zip(before, after))
+
+
+def test_step_skips_none_grads_without_touching_param():
+    rng = np.random.default_rng(7)
+    params = make_params(rng)
+    optimizer = Adam(params, lr=1e-2)
+    params[0].grad = None
+    for param in params[1:]:
+        param.grad = rng.normal(size=param.data.shape)
+    frozen = params[0].data
+    optimizer.step()
+    assert params[0].data is frozen
+    assert np.all(optimizer._m[0] == 0.0)
