@@ -104,6 +104,21 @@ def summarise(results_dir: Path) -> list[list[str]]:
                             f"{cell['steps_per_sec']:.0f} steps/sec",
                         ]
                     )
+        if isinstance(payload, dict):
+            # Serving benchmarks report SLO attainment, shed counts and
+            # goodput per control-plane scenario; surface the overload story
+            # (does the controlled config protect the interactive tier?) in
+            # the aggregate.
+            for scenario_name, scenario in payload.items():
+                if not (isinstance(scenario, dict) and "interactive_slo_attainment" in scenario):
+                    continue
+                attainment = scenario["interactive_slo_attainment"]
+                shed = scenario.get("shed", 0)
+                goodput = scenario.get("goodput")
+                info = f"interactive SLO attainment={attainment:.2f}, shed={shed}"
+                if isinstance(goodput, (int, float)):
+                    info += f", goodput={goodput:.2f} q/s"
+                rows.append([f"  · {scenario_name}", "", "", info])
     return rows
 
 

@@ -23,6 +23,8 @@ Quickstart::
 
 from .version import __version__
 from .config import (
+    AdmissionPolicy,
+    AutoscalePolicy,
     BQSchedConfig,
     EncoderConfig,
     PPOConfig,
@@ -43,6 +45,7 @@ from .workloads import (
     BatchQuerySet,
     BurstyArrivals,
     ClosedArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     Query,
     TraceArrivals,
@@ -59,7 +62,15 @@ from .dbms import (
     OutageWindow,
     RunningParameters,
 )
-from .runtime import ExecutionRuntime, RuntimeTenant, ServiceReport, TenantSession
+from .runtime import (
+    ClassReport,
+    ControlPlane,
+    ExecutionRuntime,
+    RuntimeTenant,
+    ServiceReport,
+    TenantClass,
+    TenantSession,
+)
 from .seeding import SeedSpawner
 from .core import (
     BQSched,
@@ -77,6 +88,8 @@ from .core import (
 
 __all__ = [
     "__version__",
+    "AdmissionPolicy",
+    "AutoscalePolicy",
     "BQSchedConfig",
     "EncoderConfig",
     "PPOConfig",
@@ -93,15 +106,19 @@ __all__ = [
     "BatchQuerySet",
     "BurstyArrivals",
     "ClosedArrivals",
+    "FlashCrowdArrivals",
     "PoissonArrivals",
     "Query",
     "TraceArrivals",
     "Workload",
     "make_arrival_process",
     "make_workload",
+    "ClassReport",
+    "ControlPlane",
     "ExecutionRuntime",
     "RuntimeTenant",
     "ServiceReport",
+    "TenantClass",
     "TenantSession",
     "Cluster",
     "DatabaseEngine",

@@ -24,6 +24,8 @@ __all__ = [
     "ClusteringConfig",
     "MaskingConfig",
     "RetryPolicy",
+    "AdmissionPolicy",
+    "AutoscalePolicy",
     "ServiceConfig",
     "BQSchedConfig",
 ]
@@ -201,6 +203,17 @@ class SchedulerConfig:
     #: freed its connection, but the time it burned helped nobody).  0 keeps
     #: rewards bit-identical to the fault-free tree.
     failure_penalty: float = 0.0
+    #: Extra negative reward per completion that misses its tenant class's
+    #: latency SLO (see :class:`~repro.runtime.controlplane.TenantClass`).
+    #: Only bites when the tenant carries a class with a latency target; 0
+    #: (the default) keeps rewards bit-identical to the class-free tree.
+    slo_penalty: float = 0.0
+    #: Fairness-aware backlog shaping: an extra cost of
+    #: ``fairness_weight * priority * elapsed * backlog`` per step charges
+    #: the policy for letting high-priority work queue up, discouraging
+    #: starvation of important tenants (RLScheduler-style shaping).  0 (the
+    #: default) disables the term entirely.
+    fairness_weight: float = 0.0
     evaluation_rounds: int = 5
     #: Inference backend for the sampling-path forwards (rollout collection,
     #: evaluation, serving): ``"numpy-ref"`` (default), ``"numpy-cached"``
@@ -224,6 +237,8 @@ class SchedulerConfig:
         _require(all(w >= 1 for w in self.worker_options), "worker counts must be >= 1")
         _require(all(m > 0 for m in self.memory_options), "memory options must be positive")
         _require(self.failure_penalty >= 0, "failure_penalty must be >= 0")
+        _require(self.slo_penalty >= 0, "slo_penalty must be >= 0")
+        _require(self.fairness_weight >= 0, "fairness_weight must be >= 0")
         _require(self.evaluation_rounds >= 1, "evaluation_rounds must be >= 1")
         _require(
             isinstance(self.inference_backend, str) and bool(self.inference_backend),
@@ -275,6 +290,85 @@ class RetryPolicy:
         return self.backoff * self.backoff_factor ** (failed_attempt - 1)
 
 
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Token-bucket admission control for the serving control plane.
+
+    Every open (non-time-zero) arrival asks the
+    :class:`~repro.runtime.controlplane.AdmissionController` for a token.
+    The bucket holds at most ``burst`` tokens and refills continuously at
+    ``rate`` tokens per second of simulated time; an arrival that finds the
+    bucket empty is *shed* — marked failed immediately so the round still
+    drains, and recorded in the per-tenant shed ledger.
+
+    ``max_pending`` adds a backlog guard on top of the bucket: when the
+    runtime-wide number of pending-but-unsubmitted queries is at or above
+    it, non-exempt arrivals are shed even if tokens remain (the bucket
+    limits *rate*, the backlog cap limits *queue depth*).
+
+    ``exempt_priority`` protects important traffic: arrivals from tenant
+    classes with ``priority >= exempt_priority`` bypass both the bucket and
+    the backlog cap and are always admitted.  ``None`` exempts nobody.
+    """
+
+    rate: float = 8.0
+    burst: float = 16.0
+    max_pending: int | None = None
+    exempt_priority: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.rate > 0, "admission rate must be positive")
+        _require(self.burst >= 1, "admission burst must be >= 1")
+        _require(
+            self.max_pending is None or self.max_pending >= 1,
+            "max_pending must be >= 1 (or None)",
+        )
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Elastic fleet sizing for the serving control plane.
+
+    The :class:`~repro.runtime.controlplane.FleetController` watches the
+    runtime backlog and parks/unparks cluster instances mid-service:
+    a scale-down is a planned outage (the instance's running queries are
+    killed and requeued exactly like an
+    :class:`~repro.dbms.OutageWindow` hit, consuming no retry budget), a
+    scale-up is a recovery wakeup (the instance's connections rejoin the
+    idle pool immediately).
+
+    Scaling triggers on backlog per *up* instance: above
+    ``target_backlog`` an instance is unparked, below ``low_water`` one is
+    parked, never leaving fewer than ``min_instances`` or more than
+    ``max_instances`` up (``max_instances=0`` means the whole fleet).
+    ``cooldown`` seconds of simulated time must pass between scale events
+    so the fleet does not thrash; ``initial_instances`` starts the round
+    with only that many instances up (``None`` starts the full fleet).
+    """
+
+    min_instances: int = 1
+    max_instances: int = 0
+    target_backlog: float = 8.0
+    low_water: float = 2.0
+    cooldown: float = 2.0
+    initial_instances: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.min_instances >= 1, "min_instances must be >= 1")
+        _require(
+            self.max_instances == 0 or self.max_instances >= self.min_instances,
+            "max_instances must be 0 (whole fleet) or >= min_instances",
+        )
+        _require(self.target_backlog > 0, "target_backlog must be positive")
+        _require(0 <= self.low_water < self.target_backlog,
+                 "low_water must be in [0, target_backlog)")
+        _require(self.cooldown >= 0, "cooldown must be >= 0")
+        _require(
+            self.initial_instances is None or self.initial_instances >= self.min_instances,
+            "initial_instances must be >= min_instances (or None)",
+        )
+
+
 @dataclass
 class ServiceConfig:
     """Event-driven serving: multi-tenant rounds and streaming arrivals.
@@ -284,7 +378,7 @@ class ServiceConfig:
     :class:`~repro.runtime.ExecutionRuntime`.  ``num_tenants`` independent
     copies of the batch share one engine's connections and buffer pool;
     ``arrival_process`` opens each tenant's batch into a stream
-    (``closed`` / ``poisson`` / ``bursty``) at ``arrival_rate`` queries per
+    (``closed`` / ``poisson`` / ``bursty`` / ``flash-crowd``) at ``arrival_rate`` queries per
     second, with ``burst_size`` queries per burst in the bursty case.
 
     ``cluster_instances`` declares the engine fleet the service runs on, as
@@ -293,6 +387,14 @@ class ServiceConfig:
     means a single engine; :meth:`repro.dbms.Cluster.from_service_config`
     materialises a declared fleet with per-instance seeds derived from the
     experiment seed.
+
+    The control-plane knobs are all opt-in and default off:
+    ``tenant_classes`` assigns each tenant a
+    :class:`~repro.runtime.controlplane.TenantClass` (tenant ``i`` gets
+    ``tenant_classes[i % len(tenant_classes)]``), ``admission`` turns on
+    token-bucket admission control / load shedding, and ``autoscale``
+    lets the fleet grow and shrink with the backlog.  Left at their
+    defaults, serving behaves bit-for-bit like the class-free tree.
     """
 
     num_tenants: int = 2
@@ -301,12 +403,15 @@ class ServiceConfig:
     burst_size: int = 4
     base_round_id: int = 80_000
     cluster_instances: tuple[str, ...] = ()
+    tenant_classes: tuple = ()
+    admission: AdmissionPolicy | None = None
+    autoscale: AutoscalePolicy | None = None
 
     def __post_init__(self) -> None:
         _require(self.num_tenants >= 1, "num_tenants must be >= 1")
         _require(
-            self.arrival_process in ("closed", "poisson", "bursty"),
-            "arrival_process must be 'closed', 'poisson' or 'bursty'",
+            self.arrival_process in ("closed", "poisson", "bursty", "flash-crowd"),
+            "arrival_process must be 'closed', 'poisson', 'bursty' or 'flash-crowd'",
         )
         _require(self.arrival_rate > 0, "arrival_rate must be positive")
         _require(self.burst_size >= 1, "burst_size must be >= 1")
@@ -314,6 +419,23 @@ class ServiceConfig:
         _require(
             all(isinstance(name, str) and name for name in self.cluster_instances),
             "cluster_instances must be non-empty profile names",
+        )
+        # TenantClass lives in repro.runtime.controlplane (the config layer
+        # must not import the runtime), so validate by shape instead of type.
+        _require(
+            all(
+                hasattr(cls, "name") and hasattr(cls, "priority")
+                for cls in self.tenant_classes
+            ),
+            "tenant_classes must be TenantClass instances",
+        )
+        _require(
+            self.admission is None or isinstance(self.admission, AdmissionPolicy),
+            "admission must be an AdmissionPolicy (or None)",
+        )
+        _require(
+            self.autoscale is None or isinstance(self.autoscale, AutoscalePolicy),
+            "autoscale must be an AutoscalePolicy (or None)",
         )
 
 

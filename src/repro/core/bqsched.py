@@ -37,14 +37,14 @@ from dataclasses import replace
 
 import numpy as np
 
-from ..config import BQSchedConfig, RetryPolicy
+from ..config import AdmissionPolicy, AutoscalePolicy, BQSchedConfig, RetryPolicy
 from ..dbms import Cluster, ConfigurationSpace, DatabaseEngine, ExecutionLog, FailureProfile, INSTANCE_FEATURE_DIM
 from ..encoder import PlanEmbeddingCache, QueryFormer, RunStateFeaturizer, SchedulingSnapshot, StateEncoder
 from ..exceptions import SchedulingError
 from ..nn.backend import resolve_backend
 from ..perf import PerformanceModel, SimulatedCluster
 from ..plans import PlanFeaturizer
-from ..runtime import ExecutionRuntime, ServiceReport
+from ..runtime import ControlPlane, ExecutionRuntime, ServiceReport, TenantClass
 from ..workloads import ArrivalProcess, BatchQuerySet, ClosedArrivals, Workload, make_arrival_process
 from .baselines import BaseScheduler
 from .cluster_env import ClusterSchedulingEnv, cluster_instance_count
@@ -461,6 +461,9 @@ class RLSchedulerBase(BaseScheduler):
         round_id: int | None = None,
         faults: "FailureProfile | None" = None,
         retry: "RetryPolicy | None" = None,
+        tenant_classes: "tuple[TenantClass, ...] | list[TenantClass] | None" = None,
+        admission: "AdmissionPolicy | None" = None,
+        autoscale: "AutoscalePolicy | None" = None,
     ) -> ServiceReport:
         """Run the trained policy as a continuous scheduler over a shared round.
 
@@ -482,6 +485,19 @@ class RLSchedulerBase(BaseScheduler):
         the attempt budget is spent.  Instance outages are always requeued,
         retry policy or not.  The report then carries the failure ledger
         (``num_failed`` / ``num_retries`` / ``num_timeouts`` / goodput).
+
+        The production control plane is opt-in through three further knobs
+        (each falling back to ``config.service``): ``tenant_classes`` assigns
+        tenant ``i`` the class ``tenant_classes[i % len(tenant_classes)]``
+        (priority, latency SLO, retry deadline — the report then rolls SLO
+        attainment up per class); ``admission`` puts a token-bucket
+        :class:`~repro.runtime.AdmissionController` in front of streaming
+        arrivals, shedding load the bucket refuses; ``autoscale`` runs an
+        elastic-fleet :class:`~repro.runtime.FleetController` that parks and
+        unparks engine instances against the backlog (requires a
+        :class:`~repro.dbms.Cluster` backend — parking the only engine would
+        wedge the round).  With all three unset, serving is bit-identical to
+        the pre-control-plane tree.
         """
         if self.clusters is not None:
             raise SchedulingError(
@@ -502,16 +518,36 @@ class RLSchedulerBase(BaseScheduler):
         if isinstance(arrivals, ClosedArrivals):
             arrivals = None
 
+        if tenant_classes is None:
+            tenant_classes = service.tenant_classes
+        if admission is None:
+            admission = service.admission
+        if autoscale is None:
+            autoscale = service.autoscale
+        if autoscale is not None and not self._cluster_backend(self.engine):
+            raise SchedulingError(
+                "autoscaling parks and unparks engine instances, which needs a "
+                "Cluster backend; a single engine has nothing to scale"
+            )
+
         scheduler_config = (
             self.config.scheduler
             if num_connections is None
             else replace(self.config.scheduler, num_connections=num_connections)
         )
-        runtime = ExecutionRuntime(self.engine, retry=retry, faults=faults)
+        if admission is not None or autoscale is not None:
+            control = ControlPlane(retry=retry, admission=admission, autoscale=autoscale)
+            runtime = ExecutionRuntime(self.engine, faults=faults, control=control)
+        else:
+            runtime = ExecutionRuntime(self.engine, retry=retry, faults=faults)
         env_cls = ClusterSchedulingEnv if self._cluster_backend(self.engine) else SchedulingEnv
         envs = []
+        classes = tuple(tenant_classes) if tenant_classes else ()
         for index in range(num_tenants):
-            tenant = runtime.register(f"tenant-{index}", self.batch, arrivals=arrivals)
+            tenant_class = classes[index % len(classes)] if classes else None
+            tenant = runtime.register(
+                f"tenant-{index}", self.batch, arrivals=arrivals, tenant_class=tenant_class
+            )
             envs.append(
                 env_cls(
                     batch=self.batch,

@@ -170,6 +170,7 @@ class SchedulingEnv:
         clusters=None,
         strategy_name: str = "rl",
         arrivals: "ArrivalProcess | Sequence[float] | None" = None,
+        tenant_class=None,
     ) -> None:
         self.batch = batch
         self.backend = backend
@@ -191,12 +192,19 @@ class SchedulingEnv:
         if isinstance(backend, RuntimeTenant):
             if arrivals is not None:
                 raise SchedulingError("arrivals are configured when registering the runtime tenant")
+            if tenant_class is not None:
+                raise SchedulingError(
+                    "the tenant class is configured when registering the runtime tenant"
+                )
             self._tenant = backend
         else:
-            self._tenant = ExecutionRuntime(backend).register("env", self.batch, arrivals=arrivals)
+            self._tenant = ExecutionRuntime(backend).register(
+                "env", self.batch, arrivals=arrivals, tenant_class=tenant_class
+            )
         self._session = None
         self._last_time = 0.0
         self._last_failures = 0
+        self._last_slo_misses = 0
         self._cluster_remaining: list[list[int]] = []
         self._round_counter = 0
         self._static_infos: dict[tuple[int, QueryStatus], QueryRuntimeInfo] = {}
@@ -297,6 +305,7 @@ class SchedulingEnv:
         )
         self._last_time = 0.0
         self._last_failures = 0
+        self._last_slo_misses = 0
         self._static_infos.clear()
         self._soa_avg_expected = np.array(
             [self.knowledge.average_time(query.query_id) for query in self.batch], dtype=np.float64
@@ -352,6 +361,15 @@ class SchedulingEnv:
         ``SchedulerConfig.failure_penalty`` each on top of the elapsed-time
         reward: the makespan alone under-prices wasted work, because a killed
         attempt freed its connection while the time it burned helped nobody.
+
+        SLO-aware serving (opt-in via ``SchedulerConfig.slo_penalty`` /
+        ``fairness_weight``) shapes further: each completion that missed the
+        tenant class's latency SLO since the previous step charges
+        ``slo_penalty``, and a fairness term charges
+        ``fairness_weight * priority * elapsed * backlog`` so letting a
+        high-priority tenant's pending work age is priced higher than letting
+        a batch tenant's.  Both default to zero, leaving rewards bit-identical
+        for existing trained policies.
         """
         elapsed = self._session.current_time - time_before
         reward = -elapsed * self.scheduler_config.reward_scale - self.scheduler_config.step_penalty
@@ -361,6 +379,17 @@ class SchedulingEnv:
             self._last_failures = failures
             if new_failures > 0 and self.scheduler_config.failure_penalty:
                 reward -= new_failures * self.scheduler_config.failure_penalty
+        if self.scheduler_config.slo_penalty:
+            misses = getattr(self._session, "num_slo_misses", 0)
+            new_misses = misses - self._last_slo_misses
+            self._last_slo_misses = misses
+            if new_misses > 0:
+                reward -= new_misses * self.scheduler_config.slo_penalty
+        if self.scheduler_config.fairness_weight and elapsed > 0:
+            priority, _ = self._slo_context()
+            if priority > 0:
+                backlog = len(self._session.pending)
+                reward -= self.scheduler_config.fairness_weight * priority * elapsed * backlog
         done = self._session.is_done
         snapshot = self.snapshot()
         info = {"time": self._session.current_time, "makespan": self._session.makespan if done else None}
@@ -450,6 +479,22 @@ class SchedulingEnv:
     # ------------------------------------------------------------------ #
     # Observation
     # ------------------------------------------------------------------ #
+    def _slo_context(self) -> tuple[float, float]:
+        """The observing tenant's (priority, deadline slack) at this instant.
+
+        Both are 0.0 unless the session belongs to a runtime tenant with a
+        :class:`~repro.runtime.TenantClass` — which keeps classless snapshots
+        bit-compatible.  Slack counts down from the class's deadline budget
+        as the round ages and goes negative once exhausted, giving
+        SLO-channel featurizers a bounded time-pressure signal.
+        """
+        tenant_class = getattr(self._session, "tenant_class", None)
+        if tenant_class is None:
+            return 0.0, 0.0
+        deadline = tenant_class.deadline
+        slack = (deadline - self._session.current_time) if deadline is not None else 0.0
+        return tenant_class.priority, slack
+
     def snapshot(self) -> SchedulingSnapshot:
         """Build the observable state of every query at the current instant.
 
@@ -499,6 +544,7 @@ class SchedulingEnv:
             wait = session.soa_available_at[deferred] - now
             wait[wait <= 0.0] = 0.0
             time_to_available[deferred] = wait
+        priority, deadline_slack = self._slo_context()
         return SnapshotArrays(
             time=now,
             status=_SOA_STATUS_OBS[status_raw],
@@ -512,6 +558,8 @@ class SchedulingEnv:
             instance_health_array=self._instance_health_array(),
             state_key=session,
             row_version=row_version.copy() if row_version is not None else None,
+            priority=priority,
+            deadline_slack=deadline_slack,
         )
 
     def snapshot_aos(self) -> SchedulingSnapshot:
@@ -586,11 +634,14 @@ class SchedulingEnv:
                 )
             else:
                 infos.append(self._static_info(query_id, QueryStatus.PENDING))
+        priority, deadline_slack = self._slo_context()
         return SchedulingSnapshot(
             time=now,
             infos=tuple(infos),
             instance_context=self._instance_context(),
             instance_health=self._instance_health(),
+            priority=priority,
+            deadline_slack=deadline_slack,
         )
 
     def _running_info(

@@ -151,13 +151,39 @@ class ClusterSession:
         return [not session.is_down for session in self.sessions]
 
     def next_fault_wakeup(self) -> float | None:
-        """Earliest recovery instant among currently-downed instances."""
+        """Earliest recovery instant among currently-downed instances.
+
+        Parked instances (autoscale scale-down) report no recovery — the
+        fleet controller unparks them explicitly — so they never appear here.
+        """
         wakeups = [
             wakeup
             for session in self.sessions
             if (wakeup := session.next_fault_wakeup()) is not None
         ]
         return min(wakeups) if wakeups else None
+
+    def park_instance(self, instance: int) -> None:
+        """Scale-down: administratively take one instance out of the fleet.
+
+        In-flight queries on the instance die through the normal outage-kill
+        path on the next advance and the runtime requeues them on surviving
+        capacity; the instance accepts no submissions until
+        :meth:`unpark_instance`.
+        """
+        if not 0 <= instance < self.num_instances:
+            raise SchedulingError(f"instance {instance} out of range (cluster has {self.num_instances})")
+        self.sessions[instance].park()
+
+    def unpark_instance(self, instance: int) -> None:
+        """Scale-up: a parked instance's connections rejoin the idle pool."""
+        if not 0 <= instance < self.num_instances:
+            raise SchedulingError(f"instance {instance} out of range (cluster has {self.num_instances})")
+        self.sessions[instance].unpark()
+
+    def parked_instances(self) -> list[int]:
+        """Instances currently parked by the elastic-fleet control plane."""
+        return [index for index, session in enumerate(self.sessions) if session.is_parked]
 
     def cancel(self, query_id: int) -> int:
         """Kill a running query on whatever instance it was placed on.

@@ -24,6 +24,7 @@ contention, data sharing, and long-tail queries.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,7 +33,7 @@ from ..exceptions import SchedulingError, SimulationError
 from ..seeding import SeedSpawner
 from ..workloads import BatchQuerySet, Query
 from .buffer import BufferPool
-from .faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile, QueryFate
+from .faults import FAILURE_ERROR, FAILURE_OUTAGE, FAULT_STREAM, FailureProfile, OutageWindow, QueryFate
 from .logs import ExecutionLog, QueryExecutionRecord, RoundLog
 from .params import RunningParameters
 from .profiles import DBMSProfile
@@ -144,7 +145,14 @@ class ExecutionSession:
         self._faults = faults
         self._fault_rng = fault_rng
         self._instance = instance
-        self._windows = faults.windows_for(instance) if faults is not None else ()
+        #: Outage windows governing this instance: the static profile windows
+        #: plus at most one dynamic administrative window (autoscale park),
+        #: kept sorted by start.  Rebuilt on park/unpark — scaling events are
+        #: rare, window scans are hot.
+        self._windows: tuple[OutageWindow, ...] = (
+            faults.windows_for(instance) if faults is not None else ()
+        )
+        self._park_window: OutageWindow | None = None
         self._fates: dict[int, QueryFate] = {}
         self._fault_events: list[CompletionEvent] = []
         #: SoA mirror of the observable per-query state, updated O(1) per
@@ -195,8 +203,11 @@ class ExecutionSession:
     # ------------------------------------------------------------------ #
     @property
     def is_down(self) -> bool:
-        """Whether this instance is inside an outage window right now."""
-        return self._faults is not None and self._faults.is_down(self._instance, self.current_time)
+        """Whether this instance is inside an outage window (or parked) right now."""
+        if not self._windows:
+            return False
+        now = self.current_time
+        return any(window.covers(now) for window in self._windows)
 
     def instance_health(self) -> list[bool]:
         """Per-instance up/down health (single-engine sessions have one entry)."""
@@ -207,11 +218,49 @@ class ExecutionSession:
 
         The event-driven runtime uses this as an extra clock limit so a round
         stalled on a fleet-wide outage wakes up when capacity returns instead
-        of deadlocking.
+        of deadlocking.  A *parked* instance (autoscale scale-down) has no
+        scheduled recovery — its window never ends — so it reports none; the
+        fleet controller brings it back explicitly.
         """
-        if self._faults is None:
+        if not self._windows:
             return None
-        return self._faults.recovery_time(self._instance, self.current_time)
+        now = self.current_time
+        ends = [
+            window.end
+            for window in self._windows
+            if window.covers(now) and math.isfinite(window.end)
+        ]
+        return max(ends) if ends else None
+
+    @property
+    def is_parked(self) -> bool:
+        """Whether the instance is administratively down (autoscale park)."""
+        return self._park_window is not None
+
+    def park(self) -> None:
+        """Administratively take the instance down: a planned, open-ended outage.
+
+        The elastic-fleet control plane uses this for scale-down.  A park is
+        an :class:`~repro.dbms.faults.OutageWindow` with no scheduled end, so
+        in-flight queries die through the normal outage-kill path on the next
+        advance (the runtime requeues them without consuming retry budget)
+        and the instance accepts no submissions until :meth:`unpark`.
+        """
+        if self._park_window is not None:
+            raise SchedulingError(f"instance {self._instance} is already parked")
+        window = OutageWindow(
+            instance=self._instance, start=self.current_time, duration=math.inf
+        )
+        self._park_window = window
+        self._windows = tuple(sorted((*self._windows, window), key=lambda w: w.start))
+
+    def unpark(self) -> None:
+        """Bring a parked instance back: its connections rejoin the idle pool."""
+        window = self._park_window
+        if window is None:
+            raise SchedulingError(f"instance {self._instance} is not parked")
+        self._park_window = None
+        self._windows = tuple(w for w in self._windows if w is not window)
 
     def cancel(self, query_id: int) -> int:
         """Kill a running query: free its connection, return it to pending.

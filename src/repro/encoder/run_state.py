@@ -91,12 +91,19 @@ class SchedulingSnapshot:
     instance is inside an outage window (fault-tolerant serving); the empty
     default means "everything up" and keeps fault-free snapshots
     bit-compatible.
+
+    ``priority`` / ``deadline_slack`` describe the observing tenant's SLO
+    class (control-plane serving): its scheduling priority and the seconds
+    remaining until its deadline at snapshot time (0.0 when no deadline is
+    set).  The defaults keep classless snapshots bit-compatible.
     """
 
     time: float
     infos: tuple[QueryRuntimeInfo, ...]
     instance_context: tuple[tuple[float, ...], ...] = ()
     instance_health: tuple[bool, ...] = ()
+    priority: float = 0.0
+    deadline_slack: float = 0.0
 
     @property
     def num_queries(self) -> int:
@@ -169,6 +176,8 @@ class SnapshotArrays:
         "attempts",
         "instance_context_array",
         "instance_health_array",
+        "priority",
+        "deadline_slack",
         "state_key",
         "row_version",
         "_infos",
@@ -193,6 +202,8 @@ class SnapshotArrays:
         instance_health_array: np.ndarray | None = None,
         state_key: object | None = None,
         row_version: np.ndarray | None = None,
+        priority: float = 0.0,
+        deadline_slack: float = 0.0,
     ) -> None:
         self.time = time
         self.status = status
@@ -204,6 +215,8 @@ class SnapshotArrays:
         self.attempts = attempts
         self.instance_context_array = instance_context_array
         self.instance_health_array = instance_health_array
+        self.priority = priority
+        self.deadline_slack = deadline_slack
         #: Identity of the live session this snapshot was taken from, plus a
         #: captured copy of its per-row mutation stamps.  Incremental
         #: inference backends (:mod:`repro.nn.backend`) key their per-session
@@ -293,6 +306,8 @@ class SnapshotArrays:
                 infos=self.infos,
                 instance_context=self.instance_context,
                 instance_health=self.instance_health,
+                priority=self.priority,
+                deadline_slack=self.deadline_slack,
             )
         return self._snapshot
 
@@ -318,6 +333,14 @@ class RunStateFeaturizer:
     query state.  In cluster mode the (instance, configuration) pair is
     one-hot encoded jointly through ``num_configs = instances * configs``,
     which degenerates to the paper's layout at one instance.
+
+    The optional SLO channel (``slo_channel=True``) supports control-plane
+    serving with tenant classes: two extra entries broadcast the observing
+    tenant's ``tanh(priority / 4.0)`` and ``tanh(deadline_slack /
+    time_scale)`` to every query token, letting one shared policy condition
+    on which service tier it is scheduling for and how much deadline head
+    room is left.  Like the other channels it is off by default, keeping the
+    layout bit-compatible with classless policies.
     """
 
     def __init__(
@@ -327,6 +350,7 @@ class RunStateFeaturizer:
         arrival_channel: bool = False,
         instance_context_dim: int = 0,
         failure_channel: bool = False,
+        slo_channel: bool = False,
     ) -> None:
         if num_configs < 1:
             raise SchedulingError("num_configs must be >= 1")
@@ -339,6 +363,7 @@ class RunStateFeaturizer:
         self.arrival_channel = arrival_channel
         self.instance_context_dim = instance_context_dim
         self.failure_channel = failure_channel
+        self.slo_channel = slo_channel
 
     @property
     def feature_dim(self) -> int:
@@ -348,6 +373,7 @@ class RunStateFeaturizer:
             + 2
             + (1 if self.arrival_channel else 0)
             + (1 if self.failure_channel else 0)
+            + (2 if self.slo_channel else 0)
             + self.instance_context_dim
         )
 
@@ -355,6 +381,11 @@ class RunStateFeaturizer:
     def _failure_slot(self) -> int:
         """Column of the failure channel (valid only when enabled)."""
         return 3 + self.num_configs + 2 + (1 if self.arrival_channel else 0)
+
+    @property
+    def _slo_slot(self) -> int:
+        """First column of the SLO channel pair (valid only when enabled)."""
+        return self._failure_slot + (1 if self.failure_channel else 0)
 
     def featurize(self, info: QueryRuntimeInfo) -> np.ndarray:
         vector = np.zeros(self.feature_dim, dtype=np.float64)
@@ -371,8 +402,9 @@ class RunStateFeaturizer:
             vector[3 + self.num_configs + 2] = np.tanh(info.time_to_available / self.time_scale)
         if self.failure_channel:
             vector[self._failure_slot] = np.tanh(info.attempts / 3.0)
-        # Instance-context slots stay zero here: the per-info featurizer has
-        # no snapshot to read them from (featurize_snapshot fills them in).
+        # Instance-context and SLO slots stay zero here: the per-info
+        # featurizer has no snapshot to read them from (featurize_snapshot
+        # fills them in).
         return vector
 
     def _context_row(self, snapshot: SchedulingSnapshot) -> np.ndarray:
@@ -419,6 +451,11 @@ class RunStateFeaturizer:
         if self.failure_channel:
             attempts = np.fromiter((info.attempts for info in infos), dtype=np.float64, count=n)
             features[:, self._failure_slot] = np.tanh(attempts / 3.0)
+        if self.slo_channel:
+            features[:, self._slo_slot] = np.tanh(getattr(snapshot, "priority", 0.0) / 4.0)
+            features[:, self._slo_slot + 1] = np.tanh(
+                getattr(snapshot, "deadline_slack", 0.0) / self.time_scale
+            )
         if self.instance_context_dim:
             features[:, self.feature_dim - self.instance_context_dim :] = self._context_row(snapshot)
         return features
@@ -453,6 +490,9 @@ class RunStateFeaturizer:
         if self.failure_channel:
             attempts = arrays.attempts.astype(np.float64, copy=False)
             features[:, self._failure_slot] = np.tanh(attempts / 3.0)
+        if self.slo_channel:
+            features[:, self._slo_slot] = np.tanh(arrays.priority / 4.0)
+            features[:, self._slo_slot + 1] = np.tanh(arrays.deadline_slack / self.time_scale)
         if self.instance_context_dim:
             context = arrays.instance_context_array
             row = np.zeros(self.instance_context_dim, dtype=np.float64)
@@ -499,6 +539,11 @@ class RunStateFeaturizer:
         if self.failure_channel:
             attempts = np.stack([arrays.attempts for arrays in stack]).astype(np.float64, copy=False)
             out[:, :, self._failure_slot] = np.tanh(attempts / 3.0)
+        if self.slo_channel:
+            priority = np.array([arrays.priority for arrays in stack], dtype=np.float64)
+            slack = np.array([arrays.deadline_slack for arrays in stack], dtype=np.float64)
+            out[:, :, self._slo_slot] = np.tanh(priority / 4.0)[:, None]
+            out[:, :, self._slo_slot + 1] = np.tanh(slack / self.time_scale)[:, None]
         if self.instance_context_dim:
             offset = self.feature_dim - self.instance_context_dim
             for index, arrays in enumerate(stack):

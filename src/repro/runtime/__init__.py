@@ -13,22 +13,36 @@ single-batch loop into an event-queue architecture:
   session-protocol view scoped to its own query ids, so
   :class:`~repro.core.env.SchedulingEnv` drives a shared round exactly the
   way it drives a private one.
+* :class:`ControlPlane` (with :class:`TenantClass`,
+  :class:`AdmissionController` and :class:`FleetController`) layers SLO
+  classes, token-bucket admission / load shedding and elastic fleet
+  autoscaling on top of the same event loop — all opt-in.
 * :class:`ServiceReport` summarises per-tenant makespan and latency
-  percentiles once a round drains.
+  percentiles once a round drains; :class:`ClassReport` rolls the ledger up
+  per tenant class (SLO attainment, shed rate, goodput).
 """
 
-from ..config import RetryPolicy
+from ..config import AdmissionPolicy, AutoscalePolicy, RetryPolicy
+from .controlplane import (
+    AdmissionController,
+    ControlPlane,
+    FleetController,
+    ScaleEvent,
+    TenantClass,
+    TokenBucket,
+)
 from .events import (
     InstanceRecovery,
     QueryArrival,
     QueryCompletion,
     QueryFailure,
     QueryRetry,
+    QueryShed,
     QueryTimeout,
     RuntimeEvent,
 )
 from .queue import CalendarEventQueue, EventQueue
-from .report import ServiceReport, TenantReport
+from .report import ClassReport, ServiceReport, TenantReport
 from .runtime import ExecutionRuntime, RuntimeTenant, TenantSession
 
 __all__ = [
@@ -37,11 +51,21 @@ __all__ = [
     "QueryCompletion",
     "QueryFailure",
     "QueryRetry",
+    "QueryShed",
     "QueryTimeout",
+    "AdmissionPolicy",
+    "AutoscalePolicy",
     "RetryPolicy",
     "RuntimeEvent",
     "CalendarEventQueue",
     "EventQueue",
+    "AdmissionController",
+    "ControlPlane",
+    "FleetController",
+    "ScaleEvent",
+    "TenantClass",
+    "TokenBucket",
+    "ClassReport",
     "ServiceReport",
     "TenantReport",
     "ExecutionRuntime",

@@ -16,6 +16,9 @@ Several kinds of events exist in an event-driven scheduling round:
   ``attempt`` is still running when the clock reaches ``time``, the runtime
   kills and requeues it.  Stale checks (the attempt already completed) are
   skipped silently.
+* :class:`QueryShed` — an arrival the admission controller refused under
+  overload.  The query is marked failed immediately (it never becomes
+  pending) and counts in the tenant's shed ledger, not its retry budget.
 * :class:`InstanceRecovery` — a synthetic wake-up: downed capacity returned
   and schedulers should look for decisions again.  It belongs to no tenant.
 
@@ -34,6 +37,7 @@ __all__ = [
     "QueryFailure",
     "QueryRetry",
     "QueryTimeout",
+    "QueryShed",
     "InstanceRecovery",
     "RuntimeEvent",
 ]
@@ -108,6 +112,22 @@ class QueryTimeout:
 
 
 @dataclass(frozen=True)
+class QueryShed:
+    """An arrival of ``tenant`` refused by admission control at ``time``.
+
+    The query is terminally failed the instant it would have arrived — it
+    never enters the pending set, consumes no connection and no retry
+    budget.  Shed decisions are recorded per tenant so the
+    :class:`~repro.runtime.ServiceReport` can report shed rate and the
+    deadlock diagnostic can name over-aggressive admission policies.
+    """
+
+    time: float
+    tenant: str
+    query_id: int
+
+
+@dataclass(frozen=True)
 class InstanceRecovery:
     """Downed capacity returned at ``time``; owned by no tenant."""
 
@@ -117,5 +137,11 @@ class InstanceRecovery:
 
 
 RuntimeEvent = Union[
-    QueryArrival, QueryCompletion, QueryFailure, QueryRetry, QueryTimeout, InstanceRecovery
+    QueryArrival,
+    QueryCompletion,
+    QueryFailure,
+    QueryRetry,
+    QueryTimeout,
+    QueryShed,
+    InstanceRecovery,
 ]

@@ -7,6 +7,11 @@ shared cluster actually answer for.  Fault-tolerant serving adds the failure
 ledger: attempts that died, retries scheduled, straggler timeouts fired,
 queries lost for good — and goodput, the completions the service actually
 delivered per second of wall clock.
+
+The control plane adds the overload story: arrivals *shed* by admission
+control, per-query SLO grading against each tenant class's latency target,
+and a per-class rollup (:class:`ClassReport`) so "did the interactive tier
+hit its SLO while the batch tier absorbed the shedding?" is one lookup.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import numpy as np
 from ..exceptions import SchedulingError
 from .runtime import ExecutionRuntime
 
-__all__ = ["TenantReport", "ServiceReport"]
+__all__ = ["TenantReport", "ClassReport", "ServiceReport"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +33,14 @@ class TenantReport:
     ``num_queries`` counts *successful* completions; a tenant whose queries
     all failed (or never arrived) reports zeroed latency fields rather than
     NaN — see :meth:`ServiceReport.from_runtime`.
+
+    ``num_shed`` counts arrivals refused by admission control (shed queries
+    are also included in ``num_failed``: they were never served).
+    ``num_slo_met`` / ``num_slo_eligible`` grade the tenant against its
+    class's latency SLO — eligible work is every graded completion plus
+    every shed arrival (a query the user never got an answer to cannot have
+    met its SLO); both stay zero for classless tenants or classes without a
+    latency target.
     """
 
     tenant: str
@@ -42,6 +55,22 @@ class TenantReport:
     num_retries: int = 0
     num_timeouts: int = 0
     goodput: float = 0.0
+    tenant_class: str = ""
+    priority: float = 0.0
+    num_shed: int = 0
+    num_slo_met: int = 0
+    num_slo_eligible: int = 0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of SLO-eligible work served within the latency target.
+
+        1.0 when nothing was eligible (no class, or no latency SLO): a
+        tenant with no target cannot have missed one.
+        """
+        if self.num_slo_eligible <= 0:
+            return 1.0
+        return self.num_slo_met / self.num_slo_eligible
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +86,56 @@ class TenantReport:
             "num_retries": self.num_retries,
             "num_timeouts": self.num_timeouts,
             "goodput": self.goodput,
+            "tenant_class": self.tenant_class,
+            "priority": self.priority,
+            "num_shed": self.num_shed,
+            "num_slo_met": self.num_slo_met,
+            "num_slo_eligible": self.num_slo_eligible,
+            "slo_attainment": self.slo_attainment,
+        }
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """One tenant class's rollup across every tenant assigned to it."""
+
+    tenant_class: str
+    priority: float
+    num_tenants: int
+    num_queries: int
+    num_failed: int
+    num_shed: int
+    num_slo_met: int
+    num_slo_eligible: int
+    goodput: float
+    worst_p99_latency: float
+
+    @property
+    def slo_attainment(self) -> float:
+        if self.num_slo_eligible <= 0:
+            return 1.0
+        return self.num_slo_met / self.num_slo_eligible
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the class's offered work that was shed."""
+        offered = self.num_queries + self.num_failed
+        return self.num_shed / offered if offered > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant_class": self.tenant_class,
+            "priority": self.priority,
+            "num_tenants": self.num_tenants,
+            "num_queries": self.num_queries,
+            "num_failed": self.num_failed,
+            "num_shed": self.num_shed,
+            "num_slo_met": self.num_slo_met,
+            "num_slo_eligible": self.num_slo_eligible,
+            "slo_attainment": self.slo_attainment,
+            "shed_rate": self.shed_rate,
+            "goodput": self.goodput,
+            "worst_p99_latency": self.worst_p99_latency,
         }
 
 
@@ -67,6 +146,8 @@ class ServiceReport:
     strategy: str
     total_time: float
     tenants: tuple[TenantReport, ...] = field(default_factory=tuple)
+    #: Per-class rollups; empty when no tenant carries a class.
+    classes: tuple[ClassReport, ...] = field(default_factory=tuple)
 
     @classmethod
     def from_runtime(cls, runtime: ExecutionRuntime, strategy: str = "service") -> "ServiceReport":
@@ -85,10 +166,24 @@ class ServiceReport:
             latencies = np.array(sorted(session.latencies().values()), dtype=np.float64)
             if latencies.size:
                 mean_latency = float(latencies.mean())
-                p50, p90, p99 = (float(np.percentile(latencies, q)) for q in (50, 90, 99))
+                # Pin the interpolation method: NumPy changed the default
+                # name ("linear" == the historical default) and baselines
+                # depend on bit-stable percentiles across NumPy versions.
+                p50, p90, p99 = (
+                    float(np.percentile(latencies, q, method="linear")) for q in (50, 90, 99)
+                )
             else:
                 mean_latency = p50 = p90 = p99 = 0.0
             completed = len(session.finished)
+            tenant_class = getattr(session, "tenant_class", None)
+            num_shed = getattr(session, "num_shed", 0)
+            slo_met = getattr(session, "num_slo_met", 0)
+            slo_misses = getattr(session, "num_slo_misses", 0)
+            if tenant_class is not None and tenant_class.latency_slo is not None:
+                slo_eligible = slo_met + slo_misses + num_shed
+            else:
+                slo_met = 0
+                slo_eligible = 0
             reports.append(
                 TenantReport(
                     tenant=name,
@@ -103,9 +198,57 @@ class ServiceReport:
                     num_retries=getattr(session, "num_retries", 0),
                     num_timeouts=getattr(session, "num_timeouts", 0),
                     goodput=completed / total_time if total_time > 0 else 0.0,
+                    tenant_class=tenant_class.name if tenant_class is not None else "",
+                    priority=tenant_class.priority if tenant_class is not None else 0.0,
+                    num_shed=num_shed,
+                    num_slo_met=slo_met,
+                    num_slo_eligible=slo_eligible,
                 )
             )
-        return cls(strategy=strategy, total_time=total_time, tenants=tuple(reports))
+        return cls(
+            strategy=strategy,
+            total_time=total_time,
+            tenants=tuple(reports),
+            classes=cls._rollup_classes(reports),
+        )
+
+    @staticmethod
+    def _rollup_classes(tenants: "list[TenantReport]") -> tuple[ClassReport, ...]:
+        """Aggregate tenant reports per tenant class, in first-seen order."""
+        order: list[str] = []
+        grouped: dict[str, list[TenantReport]] = {}
+        for tenant in tenants:
+            if not tenant.tenant_class:
+                continue
+            if tenant.tenant_class not in grouped:
+                order.append(tenant.tenant_class)
+                grouped[tenant.tenant_class] = []
+            grouped[tenant.tenant_class].append(tenant)
+        rollups = []
+        for name in order:
+            members = grouped[name]
+            rollups.append(
+                ClassReport(
+                    tenant_class=name,
+                    priority=members[0].priority,
+                    num_tenants=len(members),
+                    num_queries=sum(t.num_queries for t in members),
+                    num_failed=sum(t.num_failed for t in members),
+                    num_shed=sum(t.num_shed for t in members),
+                    num_slo_met=sum(t.num_slo_met for t in members),
+                    num_slo_eligible=sum(t.num_slo_eligible for t in members),
+                    goodput=sum(t.goodput for t in members),
+                    worst_p99_latency=max(t.p99_latency for t in members),
+                )
+            )
+        return tuple(rollups)
+
+    def class_report(self, name: str) -> ClassReport:
+        """The rollup of one tenant class by name."""
+        for rollup in self.classes:
+            if rollup.tenant_class == name:
+                return rollup
+        raise SchedulingError(f"no tenant class {name!r} in this report")
 
     @property
     def max_makespan(self) -> float:
@@ -118,8 +261,13 @@ class ServiceReport:
 
     @property
     def total_failed(self) -> int:
-        """Terminally failed queries across every tenant."""
+        """Terminally failed queries across every tenant (shed included)."""
         return sum(tenant.num_failed for tenant in self.tenants)
+
+    @property
+    def total_shed(self) -> int:
+        """Arrivals refused by admission control across every tenant."""
+        return sum(tenant.num_shed for tenant in self.tenants)
 
     @property
     def total_failed_attempts(self) -> int:
@@ -144,7 +292,7 @@ class ServiceReport:
         return max((tenant.p99_latency for tenant in self.tenants), default=0.0)
 
     def as_dict(self) -> dict:
-        return {
+        document = {
             "strategy": self.strategy,
             "total_time": self.total_time,
             "total_completed": self.total_completed,
@@ -155,6 +303,10 @@ class ServiceReport:
             "goodput": self.goodput,
             "tenants": [tenant.as_dict() for tenant in self.tenants],
         }
+        if self.classes:
+            document["total_shed"] = self.total_shed
+            document["classes"] = [rollup.as_dict() for rollup in self.classes]
+        return document
 
     def __str__(self) -> str:
         lines = [f"ServiceReport(strategy={self.strategy}, total_time={self.total_time:.2f}s)"]
@@ -169,5 +321,15 @@ class ServiceReport:
                     f"  faults: failed={tenant.num_failed} attempts={tenant.num_failed_attempts} "
                     f"retries={tenant.num_retries} timeouts={tenant.num_timeouts}"
                 )
+            if tenant.num_shed or tenant.num_slo_eligible:
+                line += (
+                    f"  slo: attainment={tenant.slo_attainment:.0%} shed={tenant.num_shed}"
+                )
             lines.append(line)
+        for rollup in self.classes:
+            lines.append(
+                f"  class {rollup.tenant_class:<10} (prio {rollup.priority:g}): "
+                f"completed={rollup.num_queries} shed={rollup.num_shed} "
+                f"slo_attainment={rollup.slo_attainment:.0%} goodput={rollup.goodput:.3f}/s"
+            )
         return "\n".join(lines)

@@ -46,12 +46,14 @@ from ..dbms.logs import QueryExecutionRecord, RoundLog
 from ..exceptions import SchedulingError
 from ..seeding import SeedSpawner
 from ..workloads import ArrivalProcess, BatchQuerySet
+from .controlplane import ControlPlane, TenantClass
 from .events import (
     InstanceRecovery,
     QueryArrival,
     QueryCompletion,
     QueryFailure,
     QueryRetry,
+    QueryShed,
     QueryTimeout,
     RuntimeEvent,
 )
@@ -78,6 +80,7 @@ class _TenantState:
     offset: int
     session: "TenantSession | None" = None
     claimed: bool = False
+    tenant_class: "TenantClass | None" = None
 
 
 class ExecutionRuntime:
@@ -91,6 +94,14 @@ class ExecutionRuntime:
     Instance-outage kills are *always* requeued (retry policy or not): an
     outage is the fleet's fault, not the query's.  Both default to ``None``,
     which keeps every code path bit-identical to the fault-free tree.
+
+    Arrival handling, retry decisions and elastic fleet sizing all flow
+    through one :class:`~repro.runtime.controlplane.ControlPlane`.  Pass
+    ``control`` to turn on admission control (arrivals can be *shed* under
+    overload) and autoscaling (instances park/unpark with the backlog); the
+    default control plane admits everything, never scales, and reproduces
+    the legacy retry arithmetic exactly.  ``retry`` and a ``control`` that
+    carries its own policy are mutually exclusive — one owner per decision.
     """
 
     def __init__(
@@ -99,9 +110,19 @@ class ExecutionRuntime:
         retry: RetryPolicy | None = None,
         faults: "FailureProfile | None" = None,
         event_queue: "EventQueue | CalendarEventQueue | None" = None,
+        control: "ControlPlane | None" = None,
     ) -> None:
         self.backend = backend
-        self.retry = retry
+        if control is None:
+            control = ControlPlane(retry=retry)
+        elif retry is not None:
+            if control.retry is not None and control.retry is not retry:
+                raise SchedulingError(
+                    "pass the retry policy through the control plane (or as retry=), not both"
+                )
+            control.retry = retry
+        self.control = control
+        self.retry = control.retry
         self.faults = faults
         self._tenants: dict[str, _TenantState] = {}
         self._offsets: list[int] = []
@@ -130,6 +151,7 @@ class ExecutionRuntime:
         name: str,
         batch: BatchQuerySet,
         arrivals: "ArrivalProcess | Sequence[float] | None" = None,
+        tenant_class: "TenantClass | None" = None,
     ) -> "RuntimeTenant":
         """Register a tenant before any round opens.
 
@@ -137,6 +159,12 @@ class ExecutionRuntime:
         :class:`~repro.workloads.ArrivalProcess` (re-sampled every round) or
         explicit per-query arrival times.  ``None`` keeps the closed-batch
         scenario (everything pending at time zero).
+
+        ``tenant_class`` assigns the tenant a service tier
+        (:class:`~repro.runtime.controlplane.TenantClass`): its priority
+        drives admission exemption and fairness shaping, its latency SLO is
+        graded per completion, and its deadline caps retries.  ``None`` (the
+        default) keeps the tenant classless and bit-identical to before.
         """
         if self._shared is not None:
             raise SchedulingError("tenants must register before the first round opens")
@@ -151,8 +179,12 @@ class ExecutionRuntime:
                 raise SchedulingError("arrival times must be >= 0")
         else:
             times = arrivals
+        if tenant_class is not None and not isinstance(tenant_class, TenantClass):
+            raise SchedulingError("tenant_class must be a TenantClass (or None)")
         offset = sum(len(state.batch) for state in self._tenants.values())
-        self._tenants[name] = _TenantState(name=name, batch=batch, arrivals=times, offset=offset)
+        self._tenants[name] = _TenantState(
+            name=name, batch=batch, arrivals=times, offset=offset, tenant_class=tenant_class
+        )
         self._offsets.append(offset)
         self._order.append(name)
         return RuntimeTenant(self, name)
@@ -256,6 +288,7 @@ class ExecutionRuntime:
         self.events.clear()
         self._attempts.clear()
         self._outage_kills.clear()
+        self.control.reset_round()
         opened_round_id = self._shared.log.round_id
         for state in self._tenants.values():
             times = self._arrival_times(state, opened_round_id)
@@ -271,6 +304,9 @@ class ExecutionRuntime:
                     for i in range(len(state.batch))
                     if times[i] > 0.0
                 )
+        # Elastic fleets start at their configured initial size: instances
+        # beyond it are parked before any submission happens.
+        self.control.on_round_open(self._shared)
 
     def _arrival_times(self, state: _TenantState, round_id: int) -> "np.ndarray | None":
         if state.arrivals is None:
@@ -307,7 +343,27 @@ class ExecutionRuntime:
         the closed single-tenant path identical to driving the engine
         session directly.  Stale timeout checks are consumed silently and
         the loop keeps advancing until a real event surfaces.
+
+        With an autoscaling control plane, every dispatched event is also a
+        fleet-sizing tick: the backlog is re-measured and an instance may be
+        parked or unparked before the event returns to the caller.
         """
+        event = self._advance_event()
+        if self.control.has_autoscaler:
+            self.control.autoscale(
+                self.shared_session, self._total_backlog(), self.shared_session.current_time
+            )
+        return event
+
+    def _total_backlog(self) -> int:
+        """Pending-but-unsubmitted queries across every tenant right now."""
+        backlog = 0
+        for state in self._tenants.values():
+            if state.session is not None:
+                backlog += len(state.session.pending)
+        return backlog
+
+    def _advance_event(self) -> RuntimeEvent:
         shared = self.shared_session
         while True:
             next_scheduled = self.events.peek_time()
@@ -341,7 +397,12 @@ class ExecutionRuntime:
             return InstanceRecovery(time=shared.current_time)
 
     def _deadlock_error(self) -> SchedulingError:
-        """Diagnostic for a stalled round: who still holds undrained work."""
+        """Diagnostic for a stalled round: who still holds undrained work.
+
+        Shed (not-admitted) arrivals are named explicitly: an over-aggressive
+        admission policy that starves the round should read as exactly that,
+        not as a drain bug.
+        """
         details = []
         for name in self._order:
             session = self._tenants[name].session
@@ -349,12 +410,22 @@ class ExecutionRuntime:
                 continue
             details.append(
                 f"{name!r}: pending={len(session.pending)}, running={session.num_running}, "
-                f"unarrived={len(session.unarrived_ids())}, awaiting_retry={len(session.retrying_ids())}"
+                f"unarrived={len(session.unarrived_ids())}, awaiting_retry={len(session.retrying_ids())}, "
+                f"shed={session.num_shed}"
             )
         undrained = "; ".join(details) if details else "none (shared session holds orphaned work)"
+        shed_note = ""
+        shed_counts = self.control.shed_counts()
+        if any(shed_counts.values()):
+            per_tenant = ", ".join(f"{name!r}: {count}" for name, count in sorted(shed_counts.items()))
+            shed_note = (
+                f" Admission control shed {sum(shed_counts.values())} arrival(s) this round "
+                f"({per_tenant}) — shed queries never become pending, so an over-aggressive "
+                "admission policy can leave tenants with nothing left to run."
+            )
         return SchedulingError(
             "cannot advance: nothing is running, no event is scheduled and no recovery is "
-            f"pending — the round is deadlocked. Undrained tenants: {undrained}"
+            f"pending — the round is deadlocked. Undrained tenants: {undrained}.{shed_note}"
         )
 
     def _apply_scheduled_event(self, event: RuntimeEvent) -> "RuntimeEvent | None":
@@ -362,6 +433,17 @@ class ExecutionRuntime:
         state = self._tenants[event.tenant]
         assert state.session is not None
         if isinstance(event, QueryArrival):
+            if not self.control.admits_all and not self.control.admit(
+                state.name, state.tenant_class, event.time, self._total_backlog()
+            ):
+                # Shed: the arrival is refused under overload.  The query is
+                # terminally failed straight from deferred — it never becomes
+                # pending, consumes no connection and no retry budget — and
+                # the tenant's shed ledger records the decision.
+                self.shared_session.mark_failed(state.offset + event.query_id)
+                shed = QueryShed(time=event.time, tenant=state.name, query_id=event.query_id)
+                state.session._on_shed(shed)
+                return shed
             self.shared_session.release(state.offset + event.query_id)
             state.session._on_arrival(event)
             return event
@@ -416,15 +498,17 @@ class ExecutionRuntime:
             # stays monotonic — reusing attempt numbers would let a stale
             # pre-outage timeout check alias onto the fresh attempt.
             self._outage_kills[global_id] = self._outage_kills.get(global_id, 0) + 1
-            will_retry = True
-            delay = 0.0
-        else:
-            will_retry = False
-            delay = 0.0
-            consumed = attempt - self._outage_kills.get(global_id, 0)
-            if self.retry is not None and consumed < self.retry.max_attempts:
-                will_retry = True
-                delay = self.retry.delay_for(max(1, consumed))
+        give_up_at: float | None = None
+        if state.tenant_class is not None and state.tenant_class.deadline is not None:
+            assert state.session is not None
+            give_up_at = state.session.arrival_time(local_id) + state.tenant_class.deadline
+        will_retry, delay = self.control.decide_retry(
+            reason=reason,
+            attempt=attempt,
+            outage_kills=self._outage_kills.get(global_id, 0),
+            time=time,
+            give_up_at=give_up_at,
+        )
         retry_at: float | None = None
         if will_retry:
             retry_at = time + delay
@@ -573,6 +657,11 @@ class TenantSession:
         self.finished: dict[int, float] = {}
         #: Terminally failed queries (error/timeout retries exhausted).
         self.failed: dict[int, float] = {}
+        #: Arrivals the admission controller refused, and when.  Shed queries
+        #: also appear in ``failed`` (they are terminally failed the instant
+        #: they would have arrived) — this ledger distinguishes load shedding
+        #: from exhausted retries.
+        self.shed: dict[int, float] = {}
         #: Queries awaiting a scheduled retry re-arrival, and when it fires.
         self._retrying: set[int] = set()
         self._retry_times: dict[int, float] = {}
@@ -581,6 +670,10 @@ class TenantSession:
         self.num_failed_attempts = 0
         self.num_timeouts = 0
         self.num_retries = 0
+        #: SLO grading (only counted when the tenant's class sets a
+        #: ``latency_slo``): completions at or under the target vs over it.
+        self.num_slo_met = 0
+        self.num_slo_misses = 0
         # SoA fast-snapshot view: live slices of the shared session's state
         # arrays scoped to this tenant's global-id range, plus the two
         # columns only the tenant knows (failed attempts and when a
@@ -657,6 +750,16 @@ class TenantSession:
     @property
     def makespan(self) -> float:
         return max(self.finished.values(), default=0.0)
+
+    @property
+    def tenant_class(self) -> "TenantClass | None":
+        """The tenant's service tier (``None`` when classless)."""
+        return self._state.tenant_class
+
+    @property
+    def num_shed(self) -> int:
+        """Arrivals the admission controller refused this round."""
+        return len(self.shed)
 
     def unarrived_ids(self) -> tuple[int, ...]:
         return tuple(sorted(self._unarrived))
@@ -807,6 +910,14 @@ class TenantSession:
         self._unarrived.discard(event.query_id)
         self.pending.append(event.query_id)
 
+    def _on_shed(self, event: QueryShed) -> None:
+        # The runtime has already marked the query failed in the shared
+        # session (straight from deferred); mirror that here so ``is_done``
+        # and the report see a drained, not stranded, query.
+        self._unarrived.discard(event.query_id)
+        self.shed[event.query_id] = event.time
+        self.failed[event.query_id] = event.time
+
     def _on_failure(self, event: QueryFailure) -> None:
         self._running.discard(event.query_id)
         self.num_failed_attempts += 1
@@ -840,6 +951,13 @@ class TenantSession:
     def _on_completion(self, event: QueryCompletion, record: QueryExecutionRecord) -> None:
         self._running.discard(event.query_id)
         self.finished[event.query_id] = event.time
+        tenant_class = self._state.tenant_class
+        if tenant_class is not None and tenant_class.latency_slo is not None:
+            latency = event.time - self.arrival_time(event.query_id)
+            if latency <= tenant_class.latency_slo:
+                self.num_slo_met += 1
+            else:
+                self.num_slo_misses += 1
         if self._state.offset == 0:
             self.log.add(record)
         else:

@@ -4,6 +4,7 @@ from .arrivals import (
     ArrivalProcess,
     BurstyArrivals,
     ClosedArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     TraceArrivals,
     make_arrival_process,
@@ -24,6 +25,7 @@ __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
     "ClosedArrivals",
+    "FlashCrowdArrivals",
     "PoissonArrivals",
     "TraceArrivals",
     "make_arrival_process",

@@ -8,10 +8,12 @@ time; the event-driven runtime (:mod:`repro.runtime`) releases each query
 into its tenant's pending set when the clock reaches that time, and the
 scheduler keeps deciding over the growing pending set.
 
-Three processes cover the scenarios the related open-stream schedulers train
+Four processes cover the scenarios the related open-stream schedulers train
 on: Poisson arrivals (memoryless steady load), bursty arrivals (queries land
-in clumps, the hard case for contention), and trace arrivals (replay of a
-recorded submission log).
+in clumps, the hard case for contention), flash-crowd arrivals (a steady
+stream with one overload window where the rate multiplies — the admission
+control stress test), and trace arrivals (replay of a recorded submission
+log).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "ClosedArrivals",
     "PoissonArrivals",
     "BurstyArrivals",
+    "FlashCrowdArrivals",
     "TraceArrivals",
     "make_arrival_process",
 ]
@@ -98,6 +101,65 @@ class BurstyArrivals(ArrivalProcess):
         return np.repeat(epochs, self.burst_size)[:num_queries]
 
 
+class FlashCrowdArrivals(ArrivalProcess):
+    """A steady stream with one overload window where the rate multiplies.
+
+    Outside ``[burst_start, burst_start + burst_duration)`` queries arrive as
+    a Poisson process at ``rate``; inside the window the instantaneous rate
+    jumps to ``rate * burst_factor`` (the flash crowd).  Sampling inverts the
+    piecewise-linear cumulative intensity of the inhomogeneous Poisson
+    process: unit-rate exponential gaps are accumulated and each cumulative
+    intensity value is mapped back to wall-clock time through the three
+    linear segments (before / inside / after the window).  The first arrival
+    is pinned at time zero, like every open process here, so a round always
+    has work to start on.
+
+    A ``burst_factor`` of 1 degenerates to :class:`PoissonArrivals` exactly
+    (all three segments share one slope); a window that ends before the
+    second arrival simply leaves every arrival on the post-window segment.
+    This is the admission-control stress scenario: a 100x flash crowd buries
+    an uncontrolled service, while a controlled one sheds low-priority work
+    and keeps its interactive tier inside the SLO.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst_factor: float = 10.0,
+        burst_start: float = 0.0,
+        burst_duration: float = 1.0,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        if burst_factor < 1:
+            raise WorkloadError("burst_factor must be >= 1")
+        if burst_start < 0:
+            raise WorkloadError("burst_start must be >= 0")
+        if burst_duration <= 0:
+            raise WorkloadError("burst_duration must be positive")
+        self.rate = rate
+        self.burst_factor = burst_factor
+        self.burst_start = burst_start
+        self.burst_duration = burst_duration
+
+    def times(self, num_queries: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(num_queries)
+        gaps = rng.exponential(1.0, size=num_queries)
+        gaps[0] = 0.0
+        intensity = np.cumsum(gaps)
+        # Cumulative intensity at the window edges: Lambda(burst_start) and
+        # Lambda(burst_start + burst_duration).
+        at_start = self.rate * self.burst_start
+        at_end = at_start + self.rate * self.burst_factor * self.burst_duration
+        before = intensity / self.rate
+        inside = self.burst_start + (intensity - at_start) / (self.rate * self.burst_factor)
+        after = self.burst_start + self.burst_duration + (intensity - at_end) / self.rate
+        result: np.ndarray = np.where(
+            intensity < at_start, before, np.where(intensity < at_end, inside, after)
+        )
+        return result
+
+
 class TraceArrivals(ArrivalProcess):
     """Replay of recorded arrival times (e.g. from a production submit log)."""
 
@@ -118,7 +180,14 @@ class TraceArrivals(ArrivalProcess):
         return self.trace[:num_queries].copy()
 
 
-def make_arrival_process(name: str, rate: float = 2.0, burst_size: int = 4) -> ArrivalProcess:
+def make_arrival_process(
+    name: str,
+    rate: float = 2.0,
+    burst_size: int = 4,
+    burst_factor: float = 10.0,
+    burst_start: float = 0.0,
+    burst_duration: float = 1.0,
+) -> ArrivalProcess:
     """Build an arrival process from its configuration name."""
     name = name.lower()
     if name == "closed":
@@ -127,4 +196,10 @@ def make_arrival_process(name: str, rate: float = 2.0, burst_size: int = 4) -> A
         return PoissonArrivals(rate)
     if name == "bursty":
         return BurstyArrivals(rate, burst_size=burst_size)
-    raise WorkloadError(f"unknown arrival process {name!r}; expected closed, poisson or bursty")
+    if name in ("flash-crowd", "flash_crowd", "flashcrowd"):
+        return FlashCrowdArrivals(
+            rate, burst_factor=burst_factor, burst_start=burst_start, burst_duration=burst_duration
+        )
+    raise WorkloadError(
+        f"unknown arrival process {name!r}; expected closed, poisson, bursty or flash-crowd"
+    )

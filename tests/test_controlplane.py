@@ -1,0 +1,667 @@
+"""Production serving control plane: SLO classes, admission, elastic fleets.
+
+Covers the PR-10 acceptance bars:
+
+* policy/config validation for the new control-plane dataclasses,
+* token-bucket admission with priority exemption and backlog caps,
+* shed arrivals drain the round (never deadlock it) and are named by the
+  deadlock diagnostic,
+* park/unpark elastic sizing reuses the outage kill/recovery machinery,
+* the legacy retry arithmetic reproduces bit-for-bit through the control
+  plane, and a default control plane leaves round logs bit-identical,
+* SLO feature channels and reward shaping stay strictly opt-in,
+* arrival-process edge cases (empty trace, zero rate, degenerate burst
+  windows) fail loudly or behave sanely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import BQSchedConfig, DatabaseEngine, DBMSProfile, make_workload
+from repro.config import (
+    AdmissionPolicy,
+    AutoscalePolicy,
+    RetryPolicy,
+    SchedulerConfig,
+    ServiceConfig,
+)
+from repro.core import AdaptiveMask, ExternalKnowledge, LSchedScheduler, SchedulingEnv
+from repro.dbms import Cluster, ConfigurationSpace
+from repro.dbms.faults import FAILURE_ERROR, FAILURE_OUTAGE
+from repro.encoder import RunStateFeaturizer, SchedulingSnapshot
+from repro.exceptions import ConfigurationError, SchedulingError, WorkloadError
+from repro.runtime import (
+    AdmissionController,
+    ControlPlane,
+    ExecutionRuntime,
+    FleetController,
+    QueryShed,
+    ServiceReport,
+    TenantClass,
+    TokenBucket,
+)
+from repro.workloads import (
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrival_process,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_batch():
+    return make_workload("tpch", scale_factor=1.0, seed=0).batch_query_set()
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    config = BQSchedConfig.small(seed=0)
+    config.scheduler.num_connections = 4
+    return config
+
+
+def _digest(round_log) -> str:
+    sha = hashlib.sha256()
+    for r in round_log.records:
+        sha.update(
+            f"{r.query_id}|{r.connection}|{r.parameters.workers}|{r.parameters.memory_mb}|"
+            f"{r.submit_time!r}|{r.finish_time!r};".encode()
+        )
+    return sha.hexdigest()
+
+
+class TestPolicyValidation:
+    def test_tenant_class(self):
+        with pytest.raises(ConfigurationError):
+            TenantClass("")
+        with pytest.raises(ConfigurationError):
+            TenantClass("a", latency_slo=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantClass("a", deadline=-1.0)
+        cls = TenantClass("interactive", priority=2.0, latency_slo=10.0, deadline=60.0)
+        assert cls.priority == 2.0
+
+    def test_admission_policy(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(burst=0.5)
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(max_pending=0)
+        assert AdmissionPolicy().max_pending is None
+
+    def test_autoscale_policy(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_instances=0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_instances=3, max_instances=2)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(target_backlog=0.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(low_water=9.0, target_backlog=8.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(cooldown=-1.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_instances=2, initial_instances=1)
+        assert AutoscalePolicy(max_instances=0).max_instances == 0
+
+    def test_scheduler_shaping_knobs(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(slo_penalty=-0.1)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(fairness_weight=-0.1)
+        assert SchedulerConfig().slo_penalty == 0.0
+
+    def test_service_config_control_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(tenant_classes=("not-a-class",))
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(admission="nope")
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(autoscale="nope")
+        service = ServiceConfig(
+            tenant_classes=(TenantClass("a", priority=1.0),),
+            admission=AdmissionPolicy(),
+            autoscale=AutoscalePolicy(),
+            arrival_process="flash-crowd",
+        )
+        assert service.tenant_classes[0].name == "a"
+
+
+class TestTokenBucket:
+    def test_starts_full_and_depletes(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_in_simulated_time(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        assert bucket.try_take(0.0) and bucket.try_take(0.0)
+        assert not bucket.try_take(0.1)
+        assert bucket.try_take(0.5)  # 0.4s * 2/s = 0.8 + 0.2 leftover
+        assert bucket.tokens < 1.0
+
+    def test_capacity_caps_refill(self):
+        bucket = TokenBucket(rate=100.0, capacity=1.0)
+        assert bucket.try_take(0.0)
+        bucket.try_take(1000.0)
+        assert bucket.tokens <= 1.0
+
+
+class TestAdmissionController:
+    def test_priority_exemption_bypasses_bucket_and_backlog(self):
+        controller = AdmissionController(
+            AdmissionPolicy(rate=1.0, burst=1.0, max_pending=1, exempt_priority=2.0)
+        )
+        vip = TenantClass("vip", priority=2.0)
+        assert controller.admit("t0", vip, now=0.0, backlog=10_000)
+        assert controller.admit("t0", vip, now=0.0, backlog=10_000)
+        assert controller.admitted["t0"] == 2 and controller.total_shed == 0
+
+    def test_backlog_cap_sheds_before_bucket(self):
+        controller = AdmissionController(AdmissionPolicy(rate=100.0, burst=100.0, max_pending=2))
+        assert controller.admit("t0", None, now=0.0, backlog=1)
+        assert not controller.admit("t0", None, now=0.0, backlog=2)
+        assert controller.shed == {"t0": 1}
+
+    def test_bucket_exhaustion_sheds_and_reset_clears(self):
+        controller = AdmissionController(AdmissionPolicy(rate=0.001, burst=1.0))
+        assert controller.admit("a", None, now=0.0, backlog=0)
+        assert not controller.admit("b", None, now=0.0, backlog=0)
+        assert controller.shed == {"b": 1} and controller.admitted == {"a": 1}
+        controller.reset()
+        assert controller.total_shed == 0
+        assert controller.admit("b", None, now=0.0, backlog=0)
+
+
+class TestRetryDecisions:
+    def test_outage_always_requeues_immediately(self):
+        plane = ControlPlane()  # no retry policy at all
+        decision = plane.decide_retry(FAILURE_OUTAGE, attempt=7, outage_kills=6)
+        assert decision.will_retry and decision.delay == 0.0
+
+    def test_legacy_arithmetic_reproduced(self):
+        retry = RetryPolicy(max_attempts=3, backoff=0.5, backoff_factor=2.0)
+        plane = ControlPlane(retry=retry)
+        # consumed = attempt - outage_kills; retried while consumed < max.
+        assert plane.decide_retry(FAILURE_ERROR, attempt=1, outage_kills=0) == (
+            True,
+            retry.delay_for(1),
+        )
+        assert plane.decide_retry(FAILURE_ERROR, attempt=4, outage_kills=2) == (
+            True,
+            retry.delay_for(2),
+        )
+        assert not plane.decide_retry(FAILURE_ERROR, attempt=3, outage_kills=0).will_retry
+        # Outage kills never consume budget: attempt 5 with 4 kills is consumed=1.
+        assert plane.decide_retry(FAILURE_ERROR, attempt=5, outage_kills=4).will_retry
+
+    def test_no_retry_policy_means_terminal(self):
+        assert not ControlPlane().decide_retry(FAILURE_ERROR, attempt=1, outage_kills=0).will_retry
+
+    def test_deadline_vetoes_retry(self):
+        plane = ControlPlane(retry=RetryPolicy(max_attempts=5))
+        assert plane.decide_retry(
+            FAILURE_ERROR, attempt=1, outage_kills=0, time=10.0, give_up_at=20.0
+        ).will_retry
+        assert not plane.decide_retry(
+            FAILURE_ERROR, attempt=1, outage_kills=0, time=20.0, give_up_at=20.0
+        ).will_retry
+
+
+class TestParkUnpark:
+    def test_engine_park_reports_down_without_recovery(self, fixture_batch, small_config):
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        session = engine.new_session(fixture_batch, num_connections=4)
+        assert not session.is_down
+        session.park()
+        assert session.is_parked
+        assert session.is_down
+        assert not session.has_idle_connection
+        # Parked is not an outage with a known end: no autonomous recovery.
+        assert session.next_fault_wakeup() is None
+        with pytest.raises(SchedulingError):
+            session.park()
+        session.unpark()
+        assert not session.is_parked
+        assert not session.is_down
+        assert session.has_idle_connection
+        with pytest.raises(SchedulingError):
+            session.unpark()
+
+    def test_cluster_park_excludes_instance(self, fixture_batch):
+        cluster = Cluster.from_names(("x", "x"), seed=0)
+        session = cluster.new_session(fixture_batch, num_connections=4)
+        assert session.parked_instances() == []
+        session.park_instance(1)
+        assert session.parked_instances() == [1]
+        assert not session.instance_health()[1]
+        session.unpark_instance(1)
+        assert session.parked_instances() == []
+        with pytest.raises(SchedulingError):
+            session.park_instance(5)
+
+    def test_fleet_controller_initial_size_and_scaling(self, fixture_batch):
+        cluster = Cluster.from_names(("x", "x", "x"), seed=0)
+        session = cluster.new_session(fixture_batch, num_connections=2)
+        fleet = FleetController(
+            AutoscalePolicy(
+                min_instances=1, target_backlog=4.0, low_water=1.0, cooldown=0.0, initial_instances=1
+            )
+        )
+        fleet.on_round_open(session)
+        assert session.parked_instances() == [1, 2]
+        assert [e.action for e in fleet.events] == ["park", "park"]
+        # High backlog unparks the lowest-index parked instance...
+        event = fleet.tick(session, backlog=100, now=1.0)
+        assert event.action == "unpark" and event.instance == 1
+        assert session.parked_instances() == [2]
+        # ... and an idle fleet parks back down to min_instances.
+        event = fleet.tick(session, backlog=0, now=2.0)
+        assert event.action == "park" and event.instance == 1
+        assert fleet.tick(session, backlog=0, now=3.0) is None  # already at min
+
+    def test_cooldown_holds_scaling(self, fixture_batch):
+        cluster = Cluster.from_names(("x", "x"), seed=0)
+        session = cluster.new_session(fixture_batch, num_connections=2)
+        fleet = FleetController(
+            AutoscalePolicy(
+                min_instances=1, target_backlog=2.0, low_water=0.5, cooldown=10.0, initial_instances=1
+            )
+        )
+        fleet.on_round_open(session)
+        # on_round_open does not arm the cooldown: the very first tick may
+        # scale, then the cooldown window holds further actions.
+        event = fleet.tick(session, backlog=100, now=0.0)
+        assert event is not None and event.action == "unpark"
+        assert fleet.tick(session, backlog=0, now=5.0) is None
+        assert fleet.tick(session, backlog=0, now=11.0) is not None
+
+
+class TestShedBehaviour:
+    def _serve(self, admission, tenant_classes=()):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        scheduler = LSchedScheduler(workload, engine, BQSchedConfig.small(seed=0))
+        return scheduler.serve(
+            num_tenants=2,
+            arrivals=PoissonArrivals(rate=6.0),
+            admission=admission,
+            tenant_classes=tenant_classes,
+        )
+
+    def test_shed_arrivals_drain_the_round(self):
+        report = self._serve(AdmissionPolicy(rate=1.0, burst=2.0))
+        assert report.total_shed > 0
+        for tenant in report.tenants:
+            # Shed queries are terminally failed, never pending forever.
+            assert tenant.num_queries + tenant.num_failed == 22
+            assert tenant.num_failed >= tenant.num_shed
+
+    def test_priority_class_never_sheds(self):
+        classes = (
+            TenantClass("interactive", priority=2.0, latency_slo=15.0),
+            TenantClass("batch", priority=0.0, latency_slo=15.0),
+        )
+        report = self._serve(
+            AdmissionPolicy(rate=1.0, burst=2.0, exempt_priority=1.0), tenant_classes=classes
+        )
+        interactive = report.class_report("interactive")
+        batch = report.class_report("batch")
+        assert interactive.num_shed == 0
+        assert batch.num_shed > 0
+        assert interactive.slo_attainment >= batch.slo_attainment
+        assert report.total_shed == batch.num_shed
+        document = report.as_dict()
+        assert document["total_shed"] == report.total_shed
+        assert {entry["tenant_class"] for entry in document["classes"]} == {"interactive", "batch"}
+
+    def test_deadlock_diagnostic_names_shed_queries(self, fixture_batch):
+        # A scheduler that never submits the few admitted queries deadlocks
+        # the round; the diagnostic must blame the admission policy too.
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        control = ControlPlane(admission=AdmissionPolicy(rate=0.001, burst=1.0))
+        runtime = ExecutionRuntime(engine, control=control)
+        runtime.register("starved", fixture_batch, arrivals=PoissonArrivals(rate=50.0)).new_session(
+            fixture_batch, num_connections=4, round_id=0
+        )
+        with pytest.raises(SchedulingError, match="Admission control shed") as err:
+            while not runtime.is_done:
+                runtime.advance()
+        assert "'starved'" in str(err.value)
+        assert "never become pending" in str(err.value)
+
+    def test_shed_event_surfaces_from_advance(self, fixture_batch, small_config):
+        space = ConfigurationSpace(small_config.scheduler)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        control = ControlPlane(admission=AdmissionPolicy(rate=0.001, burst=1.0))
+        runtime = ExecutionRuntime(engine, control=control)
+        tenant = runtime.register("t", fixture_batch, arrivals=PoissonArrivals(rate=50.0))
+        session = tenant.new_session(fixture_batch, num_connections=4, round_id=0)
+        events = []
+        while not runtime.is_done:
+            while session.pending and session.has_idle_connection:
+                session.submit(session.pending[0], space[0])
+            if runtime.is_done:
+                break
+            events.append(runtime.advance())
+        shed = [e for e in events if isinstance(e, QueryShed)]
+        assert shed, "an almost-empty bucket must shed at this arrival rate"
+        assert {e.query_id for e in shed} <= set(session.shed)
+        assert set(session.shed) <= set(session.failed)
+        assert session.num_shed == len(session.shed)
+
+
+class TestAutoscaledServing:
+    def test_round_completes_with_elastic_fleet(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        fleet = Cluster.from_names(("x", "x", "x"), seed=0)
+        scheduler = LSchedScheduler(workload, fleet, BQSchedConfig.small(seed=0))
+        report = scheduler.serve(
+            num_tenants=2,
+            arrivals=PoissonArrivals(rate=4.0),
+            autoscale=AutoscalePolicy(
+                min_instances=1,
+                target_backlog=4.0,
+                low_water=1.0,
+                cooldown=1.0,
+                initial_instances=1,
+            ),
+        )
+        assert all(t.num_queries == 22 for t in report.tenants)
+        # Park kills requeue for free: no terminal failures from scaling.
+        assert report.total_failed == 0
+
+    def test_autoscale_requires_cluster(self):
+        workload = make_workload("tpch", scale_factor=1.0, seed=0)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        scheduler = LSchedScheduler(workload, engine, BQSchedConfig.small(seed=0))
+        with pytest.raises(SchedulingError, match="Cluster"):
+            scheduler.serve(num_tenants=2, autoscale=AutoscalePolicy())
+
+    def test_scale_events_recorded(self, fixture_batch, small_config):
+        space = ConfigurationSpace(small_config.scheduler)
+        fleet = Cluster.from_names(("x", "x", "x"), seed=0)
+        control = ControlPlane(
+            autoscale=AutoscalePolicy(
+                min_instances=1, target_backlog=2.0, low_water=0.5, cooldown=0.5, initial_instances=1
+            )
+        )
+        runtime = ExecutionRuntime(fleet, control=control)
+        tenant = runtime.register("t", fixture_batch, arrivals=PoissonArrivals(rate=8.0))
+        session = tenant.new_session(fixture_batch, num_connections=6, round_id=0)
+        shared = runtime.shared_session
+
+        def idle_instance():
+            for index, sub in enumerate(shared.sessions):
+                if sub.has_idle_connection:
+                    return index
+            return None
+
+        while not runtime.is_done:
+            while session.pending and session.has_idle_connection:
+                session.submit(session.pending[0], space[0], instance=idle_instance())
+            if runtime.is_done:
+                break
+            runtime.advance()
+        events = control.scale_events()
+        assert [e.action for e in events[:2]] == ["park", "park"]  # initial sizing
+        assert any(e.action == "unpark" for e in events), "the burst must trigger a scale-up"
+        assert session.is_done and len(session.finished) == 22
+
+
+class TestDefaultPathEquivalence:
+    def test_default_control_plane_is_bit_identical(self, fixture_batch, small_config):
+        space = ConfigurationSpace(small_config.scheduler)
+        logs = []
+        for control in (None, ControlPlane()):
+            engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+            runtime = ExecutionRuntime(engine, control=control)
+            tenant = runtime.register("t", fixture_batch, arrivals=PoissonArrivals(rate=3.0))
+            session = tenant.new_session(fixture_batch, num_connections=4, round_id=0)
+            while not runtime.is_done:
+                while session.pending and session.has_idle_connection:
+                    session.submit(session.pending[0], space[0])
+                if runtime.is_done:
+                    break
+                runtime.advance()
+            logs.append(_digest(session.log))
+        assert logs[0] == logs[1]
+
+    def test_conflicting_retry_ownership_rejected(self):
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        control = ControlPlane(retry=RetryPolicy(max_attempts=2))
+        with pytest.raises(SchedulingError):
+            ExecutionRuntime(engine, retry=RetryPolicy(max_attempts=3), control=control)
+        # Same object through both doors is fine.
+        retry = RetryPolicy(max_attempts=2)
+        runtime = ExecutionRuntime(engine, retry=retry, control=ControlPlane(retry=retry))
+        assert runtime.retry is retry
+
+
+class TestSloChannel:
+    def _snapshot(self, priority=0.0, deadline_slack=0.0):
+        from repro.encoder import QueryRuntimeInfo, QueryStatus
+
+        infos = (
+            QueryRuntimeInfo(query_id=0, status=QueryStatus.PENDING, expected_time=4.0),
+            QueryRuntimeInfo(
+                query_id=1, status=QueryStatus.RUNNING, config_index=1, elapsed=2.0, expected_time=3.0
+            ),
+        )
+        return SchedulingSnapshot(
+            time=1.0, infos=infos, priority=priority, deadline_slack=deadline_slack
+        )
+
+    def test_disabled_channel_keeps_layout(self):
+        base = RunStateFeaturizer(num_configs=4)
+        assert RunStateFeaturizer(num_configs=4, slo_channel=True).feature_dim == base.feature_dim + 2
+        features = base.featurize_snapshot(self._snapshot(priority=3.0, deadline_slack=5.0))
+        assert features.shape[1] == base.feature_dim
+
+    def test_channel_broadcasts_priority_and_slack(self):
+        featurizer = RunStateFeaturizer(num_configs=4, time_scale=10.0, slo_channel=True)
+        snapshot = self._snapshot(priority=2.0, deadline_slack=5.0)
+        features = featurizer.featurize_snapshot(snapshot)
+        slot = featurizer._slo_slot
+        assert np.allclose(features[:, slot], np.tanh(2.0 / 4.0))
+        assert np.allclose(features[:, slot + 1], np.tanh(5.0 / 10.0))
+        # Classless snapshots leave the channel at zero.
+        neutral = featurizer.featurize_snapshot(self._snapshot())
+        assert (neutral[:, slot:] == 0.0).all()
+
+    def test_channel_parity_between_aos_and_soa(self, fixture_batch, small_config):
+        space = ConfigurationSpace(small_config.scheduler)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        knowledge = ExternalKnowledge.from_probes(engine, fixture_batch, space)
+        runtime = ExecutionRuntime(engine)
+        tenant = runtime.register(
+            "t",
+            fixture_batch,
+            tenant_class=TenantClass("vip", priority=2.0, latency_slo=10.0, deadline=30.0),
+        )
+        env = SchedulingEnv(
+            batch=fixture_batch,
+            backend=tenant,
+            scheduler_config=small_config.scheduler,
+            config_space=space,
+            knowledge=knowledge,
+            mask=AdaptiveMask.unmasked(len(fixture_batch), len(space)),
+        )
+        env.reset(round_id=0)
+        featurizer = RunStateFeaturizer(num_configs=len(space), slo_channel=True)
+        fast = featurizer.featurize_snapshot(env.snapshot())
+        slow = featurizer.featurize_snapshot(env.snapshot_aos())
+        np.testing.assert_array_equal(fast, slow)
+        slot = featurizer._slo_slot
+        assert np.allclose(fast[:, slot], np.tanh(2.0 / 4.0))
+        assert np.allclose(fast[:, slot + 1], np.tanh(30.0 / 10.0))
+
+
+class TestRewardShaping:
+    def _run_round(self, scheduler_config, tenant_class):
+        batch = make_workload("tpch", scale_factor=1.0, seed=0).batch_query_set()
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        space = ConfigurationSpace(scheduler_config)
+        knowledge = ExternalKnowledge.from_probes(engine, batch, space)
+        runtime = ExecutionRuntime(engine)
+        tenant = runtime.register("t", batch, tenant_class=tenant_class)
+        env = SchedulingEnv(
+            batch=batch,
+            backend=tenant,
+            scheduler_config=scheduler_config,
+            config_space=space,
+            knowledge=knowledge,
+            mask=AdaptiveMask.unmasked(len(batch), len(space)),
+        )
+        env.reset(round_id=0)
+        total = 0.0
+        done = False
+        while not done:
+            mask = env.action_mask()
+            action = int(np.flatnonzero(mask)[0])
+            step = env.step(action)
+            total += step.reward
+            done = step.done
+        return total
+
+    def test_slo_penalty_charges_misses(self):
+        config = BQSchedConfig.small(seed=0)
+        config.scheduler.num_connections = 4
+        # An impossible SLO makes every completion a miss.
+        vip = TenantClass("vip", priority=1.0, latency_slo=1e-6)
+        base = self._run_round(config.scheduler, vip)
+        from dataclasses import replace
+
+        shaped_config = replace(config.scheduler, slo_penalty=5.0)
+        shaped = self._run_round(shaped_config, vip)
+        num_queries = 22
+        assert shaped == pytest.approx(base - 5.0 * num_queries)
+
+    def test_fairness_term_charges_priority_backlog(self):
+        config = BQSchedConfig.small(seed=0)
+        config.scheduler.num_connections = 4
+        vip = TenantClass("vip", priority=2.0)
+        base = self._run_round(config.scheduler, vip)
+        from dataclasses import replace
+
+        shaped = self._run_round(replace(config.scheduler, fairness_weight=0.1), vip)
+        assert shaped < base
+        # Zero-priority tenants are never charged.
+        plain = TenantClass("batch", priority=0.0)
+        assert self._run_round(replace(config.scheduler, fairness_weight=0.1), plain) == (
+            self._run_round(config.scheduler, plain)
+        )
+
+
+class TestArrivalEdges:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError, match="must not be empty"):
+            TraceArrivals([])
+
+    def test_zero_rate_poisson_rejected(self):
+        with pytest.raises(WorkloadError, match="must be positive"):
+            PoissonArrivals(0.0)
+        with pytest.raises(WorkloadError, match="must be positive"):
+            FlashCrowdArrivals(rate=0.0)
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashCrowdArrivals(rate=1.0, burst_factor=0.5)
+        with pytest.raises(WorkloadError):
+            FlashCrowdArrivals(rate=1.0, burst_start=-1.0)
+        with pytest.raises(WorkloadError):
+            FlashCrowdArrivals(rate=1.0, burst_duration=0.0)
+
+    def test_burst_window_ending_before_first_gap(self):
+        # A vanishingly small window right at t=0 ends before the second
+        # arrival lands: everything sits on the post-window segment, the
+        # stream stays pinned at zero and monotone.
+        process = FlashCrowdArrivals(rate=2.0, burst_factor=100.0, burst_start=0.0, burst_duration=1e-9)
+        times = process.times(50, np.random.default_rng(0))
+        assert times[0] == 0.0
+        assert (np.diff(times) >= 0).all()
+        assert np.isfinite(times).all()
+
+    def test_unit_factor_degenerates_to_poisson(self):
+        flash = FlashCrowdArrivals(rate=3.0, burst_factor=1.0, burst_start=5.0, burst_duration=2.0)
+        poisson = PoissonArrivals(rate=3.0)
+        a = flash.times(200, np.random.default_rng(7))
+        b = poisson.times(200, np.random.default_rng(7))
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_burst_window_compresses_arrivals(self):
+        process = FlashCrowdArrivals(rate=1.0, burst_factor=100.0, burst_start=2.0, burst_duration=1.0)
+        times = process.times(400, np.random.default_rng(1))
+        inside = ((times >= 2.0) & (times < 3.0)).sum()
+        # The window holds ~100 expected arrivals vs ~1 outside per second.
+        assert inside > 50
+        assert (np.diff(times) >= 0).all()
+
+    def test_make_arrival_process_flash_crowd(self):
+        process = make_arrival_process("flash-crowd", rate=2.0, burst_factor=50.0)
+        assert isinstance(process, FlashCrowdArrivals)
+        assert process.burst_factor == 50.0
+        with pytest.raises(WorkloadError, match="flash-crowd"):
+            make_arrival_process("tsunami")
+
+
+class TestReportRollups:
+    def test_percentiles_pinned_to_linear(self, fixture_batch, small_config):
+        space = ConfigurationSpace(small_config.scheduler)
+        engine = DatabaseEngine(DBMSProfile.dbms_x(), seed=0)
+        runtime = ExecutionRuntime(engine)
+        tenant = runtime.register("t", fixture_batch)
+        session = tenant.new_session(fixture_batch, num_connections=4, round_id=0)
+        while not runtime.is_done:
+            while session.pending and session.has_idle_connection:
+                session.submit(session.pending[0], space[0])
+            if runtime.is_done:
+                break
+            runtime.advance()
+        report = ServiceReport.from_runtime(runtime)
+        latencies = np.array(sorted(session.latencies().values()))
+        for quantile, value in ((50, report.tenants[0].p50_latency), (99, report.tenants[0].p99_latency)):
+            assert value == float(np.percentile(latencies, quantile, method="linear"))
+
+    def test_attainment_defaults_and_math(self):
+        from repro.runtime import TenantReport
+
+        graded = TenantReport(
+            tenant="t",
+            num_queries=8,
+            makespan=1.0,
+            mean_latency=0.0,
+            p50_latency=0.0,
+            p90_latency=0.0,
+            p99_latency=0.0,
+            num_slo_met=6,
+            num_slo_eligible=10,
+            num_shed=2,
+        )
+        assert graded.slo_attainment == 0.6
+        ungraded = TenantReport(
+            tenant="t",
+            num_queries=0,
+            makespan=0.0,
+            mean_latency=0.0,
+            p50_latency=0.0,
+            p90_latency=0.0,
+            p99_latency=0.0,
+        )
+        assert ungraded.slo_attainment == 1.0
+
+    def test_class_report_lookup_raises_for_unknown(self):
+        report = ServiceReport(strategy="s", total_time=1.0)
+        with pytest.raises(SchedulingError):
+            report.class_report("nope")
+
+    def test_classless_report_keeps_legacy_payload_shape(self):
+        report = ServiceReport(strategy="s", total_time=1.0)
+        document = report.as_dict()
+        assert "classes" not in document and "total_shed" not in document
